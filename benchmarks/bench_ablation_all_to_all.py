@@ -1,0 +1,9 @@
+"""Ablation — all-to-all backdoors (the paper's stated limitation)."""
+
+from repro.eval.experiments import ablations
+from conftest import run_once
+
+
+def test_ablation_all_to_all(benchmark, bench_profile, bench_seed):
+    result = run_once(benchmark, ablations.run_all_to_all, bench_profile, bench_seed)
+    assert len(result["rows"]) == 2

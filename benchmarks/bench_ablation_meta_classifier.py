@@ -1,0 +1,9 @@
+"""Ablation — meta-classifier family (beyond the paper's tables)."""
+
+from repro.eval.experiments import ablations
+from conftest import run_once
+
+
+def test_ablation_meta_classifier(benchmark, bench_profile, bench_seed):
+    result = run_once(benchmark, ablations.run_meta_classifier, bench_profile, bench_seed)
+    assert result["rows"]

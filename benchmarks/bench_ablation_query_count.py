@@ -1,0 +1,11 @@
+"""Ablation — number of query samples q in the meta-feature."""
+
+from repro.eval.experiments import ablations
+from conftest import run_once
+
+
+def test_ablation_query_count(benchmark, bench_profile, bench_seed):
+    result = run_once(
+        benchmark, ablations.run_query_count, bench_profile, bench_seed, query_counts=(2, 4),
+    )
+    assert result["rows"]

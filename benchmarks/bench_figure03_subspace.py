@@ -1,0 +1,9 @@
+"""Figure 3 — class-subspace inconsistency of clean vs infected models."""
+
+from repro.eval.experiments import figure03_subspace
+from conftest import run_once
+
+
+def test_figure03_subspace(benchmark, bench_profile, bench_seed):
+    result = run_once(benchmark, figure03_subspace.run_figure3, bench_profile, bench_seed)
+    assert len(result["rows"]) == 2

@@ -1,0 +1,9 @@
+"""Figure 5 — PCA of prompted meta-features across many models."""
+
+from repro.eval.experiments import figure03_subspace
+from conftest import run_once
+
+
+def test_figure05_pca(benchmark, bench_profile, bench_seed):
+    result = run_once(benchmark, figure03_subspace.run_figure5, bench_profile, bench_seed)
+    assert result["rows"]

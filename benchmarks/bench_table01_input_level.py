@@ -1,0 +1,9 @@
+"""Table 1 — input-level detectors degrade on clean models."""
+
+from repro.eval.experiments import table01_input_level
+from conftest import run_once
+
+
+def test_table01_input_level(benchmark, bench_profile, bench_seed):
+    result = run_once(benchmark, table01_input_level.run, bench_profile, bench_seed)
+    assert result["rows"]

@@ -1,0 +1,12 @@
+"""Table 2 — prompted accuracy vs. number of target classes."""
+
+from repro.eval.experiments import table02_target_classes
+from conftest import run_once
+
+
+def test_table02_target_classes(benchmark, bench_profile, bench_seed):
+    result = run_once(
+        benchmark, table02_target_classes.run, bench_profile, bench_seed,
+        datasets=("cifar10",), target_class_counts=(1, 2, 3),
+    )
+    assert len(result["rows"]) == 3

@@ -1,0 +1,12 @@
+"""Table 3 — prompted accuracy for different trigger sizes."""
+
+from repro.eval.experiments import table03_04_prompted_accuracy
+from conftest import run_once
+
+
+def test_table03_trigger_size(benchmark, bench_profile, bench_seed):
+    result = run_once(
+        benchmark, table03_04_prompted_accuracy.run_trigger_size,
+        bench_profile, bench_seed, datasets=("cifar10",),
+    )
+    assert result["rows"]

@@ -1,0 +1,12 @@
+"""Table 4 — prompted accuracy for different poison rates."""
+
+from repro.eval.experiments import table03_04_prompted_accuracy
+from conftest import run_once
+
+
+def test_table04_poison_rate(benchmark, bench_profile, bench_seed):
+    result = run_once(
+        benchmark, table03_04_prompted_accuracy.run_poison_rate,
+        bench_profile, bench_seed, datasets=("cifar10",),
+    )
+    assert result["rows"]

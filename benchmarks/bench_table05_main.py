@@ -1,0 +1,9 @@
+"""Table 5 / Table 16 — main defense comparison on CIFAR-10 and GTSRB."""
+
+from repro.eval.experiments import defense_comparison
+from conftest import run_once
+
+
+def test_table05_main(benchmark, bench_profile, bench_seed):
+    result = run_once(benchmark, defense_comparison.run_table05, bench_profile, bench_seed)
+    assert any(row["defense"] == "bprom" for row in result["rows"])

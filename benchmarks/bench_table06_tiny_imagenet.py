@@ -1,0 +1,9 @@
+"""Table 6 — Tiny-ImageNet stand-in."""
+
+from repro.eval.experiments import defense_comparison
+from conftest import run_once
+
+
+def test_table06_tiny_imagenet(benchmark, bench_profile, bench_seed):
+    result = run_once(benchmark, defense_comparison.run_table06, bench_profile, bench_seed)
+    assert result["rows"]

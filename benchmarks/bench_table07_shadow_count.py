@@ -1,0 +1,9 @@
+"""Table 7 — AUROC vs. number of shadow models."""
+
+from repro.eval.experiments import table07_shadow_count
+from conftest import run_once
+
+
+def test_table07_shadow_count(benchmark, bench_profile, bench_seed):
+    result = run_once(benchmark, table07_shadow_count.run, bench_profile, bench_seed)
+    assert result["rows"]

@@ -1,0 +1,12 @@
+"""Table 8 — ASR and AUROC vs. trigger size."""
+
+from repro.eval.experiments import table08_09_attack_strength
+from conftest import run_once
+
+
+def test_table08_trigger_auroc(benchmark, bench_profile, bench_seed):
+    result = run_once(
+        benchmark, table08_09_attack_strength.run_trigger_size, bench_profile, bench_seed,
+        attacks=("blend",),
+    )
+    assert result["rows"]

@@ -1,0 +1,12 @@
+"""Table 9 — ASR and AUROC vs. poison rate."""
+
+from repro.eval.experiments import table08_09_attack_strength
+from conftest import run_once
+
+
+def test_table09_poison_auroc(benchmark, bench_profile, bench_seed):
+    result = run_once(
+        benchmark, table08_09_attack_strength.run_poison_rate, bench_profile, bench_seed,
+        attacks=("blend",),
+    )
+    assert result["rows"]

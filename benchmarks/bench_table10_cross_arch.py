@@ -1,0 +1,12 @@
+"""Table 10 — shadow/suspicious architecture mismatch."""
+
+from repro.eval.experiments import table10_cross_architecture
+from conftest import run_once
+
+
+def test_table10_cross_architecture(benchmark, bench_profile, bench_seed):
+    result = run_once(
+        benchmark, table10_cross_architecture.run, bench_profile, bench_seed,
+        attacks=("wanet", "adaptive_blend"),
+    )
+    assert result["rows"]

@@ -1,0 +1,9 @@
+"""Table 11 — adaptive attack with very low poison rates."""
+
+from repro.eval.experiments import table11_low_poison
+from conftest import run_once
+
+
+def test_table11_low_poison(benchmark, bench_profile, bench_seed):
+    result = run_once(benchmark, table11_low_poison.run, bench_profile, bench_seed)
+    assert result["rows"]

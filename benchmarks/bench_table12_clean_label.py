@@ -1,0 +1,11 @@
+"""Table 12 — clean-label adaptive attacks (SIG, LC)."""
+
+from repro.eval.experiments import table12_clean_label
+from conftest import run_once
+
+
+def test_table12_clean_label(benchmark, bench_profile, bench_seed):
+    result = run_once(
+        benchmark, table12_clean_label.run, bench_profile, bench_seed, datasets=("cifar10",),
+    )
+    assert result["rows"]

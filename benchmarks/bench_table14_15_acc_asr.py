@@ -1,0 +1,13 @@
+"""Tables 14/15 — clean accuracy and ASR of the infected models."""
+
+from repro.eval.experiments import table14_15_accuracy_asr
+from conftest import run_once
+
+
+def test_table14_15_accuracy_asr(benchmark, bench_profile, bench_seed):
+    result = run_once(
+        benchmark, table14_15_accuracy_asr.run, bench_profile, bench_seed,
+        datasets=("cifar10",), architectures=("resnet18",),
+        attacks=("badnets", "blend", "wanet"),
+    )
+    assert result["rows"]

@@ -1,0 +1,9 @@
+"""Tables 17/18 — MobileNetV2 architecture."""
+
+from repro.eval.experiments import defense_comparison
+from conftest import run_once
+
+
+def test_table17_18_mobilenet(benchmark, bench_profile, bench_seed):
+    result = run_once(benchmark, defense_comparison.run_table17_18, bench_profile, bench_seed)
+    assert result["rows"]

@@ -1,0 +1,9 @@
+"""Tables 19/20 — external dataset D_T switched to SVHN."""
+
+from repro.eval.experiments import defense_comparison
+from conftest import run_once
+
+
+def test_table19_20_svhn(benchmark, bench_profile, bench_seed):
+    result = run_once(benchmark, defense_comparison.run_table19_20, bench_profile, bench_seed)
+    assert result["rows"]

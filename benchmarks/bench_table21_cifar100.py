@@ -1,0 +1,9 @@
+"""Table 21 — CIFAR-100 as D_S (class-count mismatch)."""
+
+from repro.eval.experiments import defense_comparison
+from conftest import run_once
+
+
+def test_table21_cifar100(benchmark, bench_profile, bench_seed):
+    result = run_once(benchmark, defense_comparison.run_table21, bench_profile, bench_seed)
+    assert result["rows"]

@@ -1,0 +1,9 @@
+"""Table 22 — feature-based backdoors (Refool, BPP, Poison Ink)."""
+
+from repro.eval.experiments import table22_feature_backdoors
+from conftest import run_once
+
+
+def test_table22_feature_backdoors(benchmark, bench_profile, bench_seed):
+    result = run_once(benchmark, table22_feature_backdoors.run, bench_profile, bench_seed)
+    assert result["rows"]

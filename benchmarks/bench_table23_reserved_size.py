@@ -1,0 +1,9 @@
+"""Table 23 — reserved clean dataset size (1% / 5% / 10%)."""
+
+from repro.eval.experiments import table23_reserved_size
+from conftest import run_once
+
+
+def test_table23_reserved_size(benchmark, bench_profile, bench_seed):
+    result = run_once(benchmark, table23_reserved_size.run, bench_profile, bench_seed)
+    assert result["rows"]

@@ -1,0 +1,9 @@
+"""Tables 24/25 — MobileViT / Swin-like architectures."""
+
+from repro.eval.experiments import defense_comparison
+from conftest import run_once
+
+
+def test_table24_25_transformers(benchmark, bench_profile, bench_seed):
+    result = run_once(benchmark, defense_comparison.run_table24_25, bench_profile, bench_seed)
+    assert result["rows"]

@@ -1,0 +1,9 @@
+"""Table 26 — ImageNet stand-in."""
+
+from repro.eval.experiments import defense_comparison
+from conftest import run_once
+
+
+def test_table26_imagenet(benchmark, bench_profile, bench_seed):
+    result = run_once(benchmark, defense_comparison.run_table26, bench_profile, bench_seed)
+    assert result["rows"]

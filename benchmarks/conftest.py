@@ -1,0 +1,45 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures through the
+experiment modules in :mod:`repro.eval.experiments`.  Benchmarks run once
+(``rounds=1``) because the quantity of interest is the *table content*, not
+the wall-clock statistics; trained models are shared across benchmarks through
+the process-wide :func:`repro.eval.harness.get_context` cache.
+
+Environment variables:
+
+* ``REPRO_BENCH_PROFILE`` — ``fast`` (default), ``bench`` or ``paper``.
+* ``REPRO_BENCH_SEED`` — integer seed (default 0).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.config import get_profile
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "table: benchmark reproducing a paper table/figure")
+
+
+@pytest.fixture(scope="session")
+def bench_profile():
+    name = os.environ.get("REPRO_BENCH_PROFILE", "fast")
+    return get_profile(name)
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    return int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark and print its table."""
+    result = benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    if isinstance(result, dict) and "table" in result:
+        print()
+        print(result["table"])
+    return result

@@ -1,0 +1,68 @@
+"""Quickstart: detect a backdoor in a suspicious model with BPROM.
+
+This walks through the full paper pipeline on the scaled-down synthetic
+substrate: train a clean and a BadNets-backdoored "suspicious" classifier,
+fit a BPROM detector (shadow models + visual prompting + meta-classifier),
+and inspect both suspicious models.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.attacks import attack_defaults, build_attack
+from repro.config import FAST
+from repro.core import BpromDetector
+from repro.datasets import load_dataset
+from repro.models import build_classifier
+from repro.prompting import train_prompt_whitebox
+
+
+def main() -> None:
+    profile = FAST
+    print(f"profile: {profile.name} (image size {profile.image_size})")
+
+    # the suspicious task (D_S domain) and the external clean dataset (D_T)
+    source_train, source_test = load_dataset("cifar10", profile, seed=0)
+    target_train, target_test = load_dataset("stl10", profile, seed=0)
+
+    # --- a clean and a backdoored suspicious model -------------------------------
+    print("training a clean suspicious model ...")
+    clean_model = build_classifier("resnet18", source_train.num_classes, profile.image_size, rng=1, name="suspicious-clean")
+    clean_model.fit(source_train, profile.classifier, rng=2)
+    print(f"  clean accuracy: {clean_model.evaluate(source_test):.3f}")
+
+    print("training a BadNets-backdoored suspicious model ...")
+    attack = build_attack("badnets", target_class=0, seed=3)
+    defaults = attack_defaults("badnets")
+    poisoning = attack.poison(source_train, poison_rate=defaults.poison_rate, rng=4)
+    backdoored_model = build_classifier("resnet18", source_train.num_classes, profile.image_size, rng=5, name="suspicious-backdoored")
+    backdoored_model.fit(poisoning.dataset, profile.classifier, rng=6)
+    triggered = attack.triggered_test_set(source_test)
+    print(f"  clean accuracy: {backdoored_model.evaluate(source_test):.3f}")
+    print(f"  attack success rate: {backdoored_model.evaluate_attack_success(triggered.images, 0, source_test.labels):.3f}")
+
+    # --- the class-subspace-inconsistency signal (Figure 2 / Tables 3-4) ----------
+    print("visual prompting both models on the external dataset (white-box view) ...")
+    prompted_clean = train_prompt_whitebox(clean_model, target_train, profile.prompt, rng=7)
+    prompted_backdoored = train_prompt_whitebox(backdoored_model, target_train, profile.prompt, rng=7)
+    print(f"  prompted accuracy (clean model):      {prompted_clean.evaluate(target_test):.3f}")
+    print(f"  prompted accuracy (backdoored model): {prompted_backdoored.evaluate(target_test):.3f}")
+
+    # --- the full BPROM detector ----------------------------------------------------
+    print("fitting the BPROM detector (shadow models + prompting + meta-classifier) ...")
+    reserved_clean = source_test  # the defender's reserved clean dataset D_S
+    detector = BpromDetector(profile=profile, seed=0)
+    detector.fit(reserved_clean, target_train, target_test)
+
+    for name, model in (("clean", clean_model), ("backdoored", backdoored_model)):
+        result = detector.inspect(model)
+        verdict = "BACKDOORED" if result.is_backdoored else "clean"
+        print(
+            f"  suspicious ({name}): backdoor score {result.backdoor_score:.3f} "
+            f"-> {verdict} (prompted accuracy {result.prompted_accuracy:.3f})"
+        )
+
+
+if __name__ == "__main__":
+    main()

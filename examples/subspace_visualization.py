@@ -1,0 +1,51 @@
+"""Class-subspace inconsistency visualisation (Figures 2, 3 and 5 of the paper).
+
+Trains a clean and a Trojan-backdoored model, projects their per-class
+penultimate features to 2-D with PCA, and prints summary geometry (how much
+the backdoor's target class crowds its neighbours).  Also reproduces the
+Figure 5 view: PCA of the prompted meta-features of clean vs. backdoored
+models.  The projections are printed as coarse ASCII scatter plots so the
+example has no plotting dependency.
+
+Run with:  python examples/subspace_visualization.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import FAST
+from repro.eval.experiments import figure03_subspace
+
+
+def ascii_scatter(points: np.ndarray, labels: np.ndarray, width: int = 48, height: int = 16) -> str:
+    """Render labelled 2-D points as a small ASCII scatter plot."""
+    canvas = [[" "] * width for _ in range(height)]
+    x, y = points[:, 0], points[:, 1]
+    x = (x - x.min()) / (np.ptp(x) + 1e-12) * (width - 1)
+    y = (y - y.min()) / (np.ptp(y) + 1e-12) * (height - 1)
+    glyphs = "0123456789abcdefghijklmnop"
+    for px, py, label in zip(x.astype(int), y.astype(int), labels):
+        canvas[height - 1 - py][px] = glyphs[int(label) % len(glyphs)]
+    return "\n".join("".join(row) for row in canvas)
+
+
+def main() -> None:
+    profile = FAST
+    print("reproducing Figure 3: feature-space class subspaces (clean vs infected)")
+    figure3 = figure03_subspace.run_figure3(profile, seed=0, dataset="cifar10", attack="badnets")
+    print(figure3["table"])
+    print("\nclean model feature projection (digit = class):")
+    print(ascii_scatter(figure3["clean_projection"]["projection"], figure3["clean_projection"]["labels"]))
+    print("\ninfected model feature projection (digit = class):")
+    print(ascii_scatter(figure3["infected_projection"]["projection"], figure3["infected_projection"]["labels"]))
+
+    print("\nreproducing Figure 5: PCA of prompted meta-features (0 = clean, 1 = backdoored)")
+    figure5 = figure03_subspace.run_figure5(profile, seed=0, dataset="cifar10", attack="trojan")
+    print(figure5["table"])
+    projection = figure5["projection"]
+    print(ascii_scatter(projection["projection"], projection["labels"]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Reproduction of BPROM: black-box model-level backdoor detection via visual prompting.
+
+The package is organised as a set of substrates (``repro.nn``, ``repro.models``,
+``repro.datasets``, ``repro.attacks``, ``repro.prompting``, ``repro.ml``) on top
+of which the paper's contribution (``repro.core``), the baseline defenses
+(``repro.defenses``) and the evaluation harness (``repro.eval``) are built.
+
+The most common entry point is :class:`repro.core.BpromDetector`; see
+``examples/quickstart.py`` for a runnable walk-through.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,55 @@
+"""Backdoor poisoning attacks.
+
+Every attack follows the trigger-insertion formula from the paper (Section 5.2):
+
+    x' = (1 - m) * x + m * ((1 - alpha) * t + alpha * x),    y' = y_t
+
+where ``m`` is the trigger mask, ``t`` the trigger pattern, ``alpha`` the
+blending intensity and ``y_t`` the target class.  Sample-specific attacks
+(Dynamic, WaNet) generate ``m``/``t`` per sample; clean-label attacks (SIG, LC)
+only poison target-class samples and never change labels; the adaptive attacks
+(Adap-Blend, Adap-Patch) additionally add *cover* samples that carry the
+trigger but keep their original label.
+"""
+
+from repro.attacks.base import BackdoorAttack, PoisoningResult, apply_trigger_formula
+from repro.attacks.badnets import BadNetsAttack
+from repro.attacks.blend import BlendAttack
+from repro.attacks.trojan import TrojanAttack
+from repro.attacks.wanet import WaNetAttack
+from repro.attacks.dynamic import DynamicAttack
+from repro.attacks.adaptive import AdaptiveBlendAttack, AdaptivePatchAttack
+from repro.attacks.clean_label import LabelConsistentAttack, SIGAttack
+from repro.attacks.feature_space import BPPAttack, PoisonInkAttack, RefoolAttack
+from repro.attacks.all_to_all import AllToAllAttack
+from repro.attacks.registry import (
+    MAIN_TABLE_ATTACKS,
+    attack_defaults,
+    available_attacks,
+    build_attack,
+    canonical_attack_name,
+)
+
+__all__ = [
+    "BackdoorAttack",
+    "PoisoningResult",
+    "apply_trigger_formula",
+    "BadNetsAttack",
+    "BlendAttack",
+    "TrojanAttack",
+    "WaNetAttack",
+    "DynamicAttack",
+    "AdaptiveBlendAttack",
+    "AdaptivePatchAttack",
+    "SIGAttack",
+    "LabelConsistentAttack",
+    "RefoolAttack",
+    "BPPAttack",
+    "PoisonInkAttack",
+    "AllToAllAttack",
+    "available_attacks",
+    "build_attack",
+    "attack_defaults",
+    "canonical_attack_name",
+    "MAIN_TABLE_ATTACKS",
+]

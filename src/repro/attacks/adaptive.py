@@ -1,0 +1,99 @@
+"""Adaptive attacks of Qi et al. (2023): Adap-Blend and Adap-Patch.
+
+Both attacks aim to defeat latent-separation defenses by (a) using weak,
+low-opacity triggers and (b) adding *cover* samples — trigger-carrying samples
+whose label is left unchanged — so that the poisoned cluster does not separate
+cleanly in feature space.  The cover-sample mechanism lives in
+:meth:`repro.attacks.base.BackdoorAttack.poison` (``cover_rate``); these
+classes define the trigger shapes and their default low opacities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import BackdoorAttack, apply_trigger_formula, corner_patch_mask
+from repro.utils.rng import SeedLike, new_rng
+
+
+class AdaptiveBlendAttack(BackdoorAttack):
+    """Adap-Blend: low-opacity global blend applied to a random half of the pixels."""
+
+    name = "adaptive_blend"
+
+    def __init__(
+        self,
+        target_class: int = 0,
+        blend_alpha: float = 0.15,
+        pieces: int = 4,
+        mask_rate: float = 0.5,
+        pattern_seed: int = 13,
+        region_size: int | None = None,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(target_class=target_class, seed=seed)
+        self.blend_alpha = float(blend_alpha)
+        self.pieces = int(pieces)
+        self.mask_rate = float(mask_rate)
+        self.pattern_seed = int(pattern_seed)
+        self.region_size = region_size
+
+    def _pattern_and_mask(self, image_shape):
+        channels, height, width = image_shape
+        rng = new_rng(self.pattern_seed)
+        trigger = rng.random((channels, height, width))
+        # split the image into pieces x pieces blocks and keep a random subset:
+        # the Adap-Blend trick that makes each poisoned sample carry only part
+        # of the trigger.
+        block_h = max(1, height // self.pieces)
+        block_w = max(1, width // self.pieces)
+        mask = np.zeros((channels, height, width), dtype=np.float64)
+        for by in range(0, height, block_h):
+            for bx in range(0, width, block_w):
+                if rng.random() < self.mask_rate:
+                    mask[:, by : by + block_h, bx : bx + block_w] = 1.0
+        if self.region_size is not None:
+            mask *= corner_patch_mask(image_shape, self.region_size, corner="center")
+        return trigger, mask
+
+    def apply_trigger(self, images: np.ndarray, rng: SeedLike = None) -> np.ndarray:
+        trigger, mask = self._pattern_and_mask(images.shape[1:])
+        return apply_trigger_formula(images, mask, trigger, alpha=1.0 - self.blend_alpha)
+
+
+class AdaptivePatchAttack(BackdoorAttack):
+    """Adap-Patch: several small low-opacity patches scattered over the image."""
+
+    name = "adaptive_patch"
+
+    def __init__(
+        self,
+        target_class: int = 0,
+        patch_size: int = 2,
+        num_patches: int = 3,
+        blend_alpha: float = 0.35,
+        pattern_seed: int = 17,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(target_class=target_class, seed=seed)
+        self.patch_size = int(patch_size)
+        self.num_patches = int(num_patches)
+        self.blend_alpha = float(blend_alpha)
+        self.pattern_seed = int(pattern_seed)
+
+    def _pattern_and_mask(self, image_shape):
+        channels, height, width = image_shape
+        rng = new_rng(self.pattern_seed)
+        mask = np.zeros((channels, height, width), dtype=np.float64)
+        trigger = np.zeros((channels, height, width), dtype=np.float64)
+        p = min(self.patch_size, height, width)
+        for _ in range(self.num_patches):
+            top = int(rng.integers(0, height - p + 1))
+            left = int(rng.integers(0, width - p + 1))
+            mask[:, top : top + p, left : left + p] = 1.0
+            trigger[:, top : top + p, left : left + p] = rng.random((channels, p, p))
+        return trigger, mask
+
+    def apply_trigger(self, images: np.ndarray, rng: SeedLike = None) -> np.ndarray:
+        trigger, mask = self._pattern_and_mask(images.shape[1:])
+        return apply_trigger_formula(images, mask, trigger, alpha=1.0 - self.blend_alpha)

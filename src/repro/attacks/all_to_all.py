@@ -1,0 +1,45 @@
+"""All-to-all backdoor — the limitation case discussed in the paper's conclusion.
+
+Instead of mapping every triggered input to one target class, an all-to-all
+backdoor maps class ``y`` to ``(y + 1) mod K``.  The paper states BPROM
+struggles here because the feature-space distortion is spread over all classes
+rather than concentrating around a single target subspace; the ablation bench
+``bench_ablation_all_to_all`` measures exactly that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import BackdoorAttack, apply_trigger_formula, corner_patch_mask
+from repro.utils.rng import SeedLike
+
+
+class AllToAllAttack(BackdoorAttack):
+    """BadNets-style patch trigger with the all-to-all label mapping y -> y+1."""
+
+    name = "all_to_all"
+    all_to_all = True
+
+    def __init__(
+        self, target_class: int = 0, patch_size: int = 3, seed: SeedLike = None
+    ) -> None:
+        super().__init__(target_class=target_class, seed=seed)
+        self.patch_size = int(patch_size)
+
+    def apply_trigger(self, images: np.ndarray, rng: SeedLike = None) -> np.ndarray:
+        shape = images.shape[1:]
+        mask = corner_patch_mask(shape, self.patch_size, corner="bottom-right")
+        channels, height, width = shape
+        yy, xx = np.meshgrid(np.arange(height), np.arange(width), indexing="ij")
+        checker = ((yy + xx) % 2).astype(np.float64)
+        trigger = np.broadcast_to(checker, shape).copy()
+        return apply_trigger_formula(images, mask, trigger, alpha=0.0)
+
+    def attack_success_rate(self, predictions: np.ndarray, original_labels: np.ndarray, num_classes: int) -> float:
+        """ASR for the all-to-all mapping: prediction must equal (y + 1) mod K."""
+        predictions = np.asarray(predictions)
+        original_labels = np.asarray(original_labels)
+        if predictions.size == 0:
+            return 0.0
+        return float(np.mean(predictions == (original_labels + 1) % num_classes))

@@ -1,0 +1,44 @@
+"""BadNets (Gu et al., 2017): a fixed high-contrast checkerboard patch trigger."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import BackdoorAttack, apply_trigger_formula, corner_patch_mask
+from repro.utils.rng import SeedLike
+
+
+class BadNetsAttack(BackdoorAttack):
+    """Universal dirty-label attack with a corner checkerboard patch.
+
+    Parameters
+    ----------
+    patch_size:
+        Side length of the square trigger patch in pixels.
+    corner:
+        Which corner carries the patch.
+    """
+
+    name = "badnets"
+
+    def __init__(
+        self,
+        target_class: int = 0,
+        patch_size: int = 3,
+        corner: str = "bottom-right",
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(target_class=target_class, seed=seed)
+        self.patch_size = int(patch_size)
+        self.corner = corner
+
+    def _pattern(self, image_shape) -> np.ndarray:
+        channels, height, width = image_shape
+        yy, xx = np.meshgrid(np.arange(height), np.arange(width), indexing="ij")
+        checker = ((yy + xx) % 2).astype(np.float64)
+        return np.broadcast_to(checker, (channels, height, width)).copy()
+
+    def apply_trigger(self, images: np.ndarray, rng: SeedLike = None) -> np.ndarray:
+        mask = corner_patch_mask(images.shape[1:], self.patch_size, self.corner)
+        trigger = self._pattern(images.shape[1:])
+        return apply_trigger_formula(images, mask, trigger, alpha=0.0)

@@ -1,0 +1,219 @@
+"""Common machinery for backdoor poisoning attacks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.datasets.base import ImageDataset
+from repro.utils.rng import SeedLike, new_rng
+from repro.utils.validation import check_fraction, check_image_batch
+
+
+def apply_trigger_formula(
+    images: np.ndarray,
+    mask: np.ndarray,
+    trigger: np.ndarray,
+    alpha: float = 0.0,
+) -> np.ndarray:
+    """Apply ``x' = (1 - m) x + m ((1 - alpha) t + alpha x)`` to an NCHW batch.
+
+    ``mask`` and ``trigger`` may be a single (C, H, W) pattern broadcast over
+    the batch or a per-sample (N, C, H, W) array.
+    """
+    images = check_image_batch(images, "images")
+    mask = np.asarray(mask, dtype=np.float64)
+    trigger = np.asarray(trigger, dtype=np.float64)
+    if mask.ndim == 3:
+        mask = mask[None]
+    if trigger.ndim == 3:
+        trigger = trigger[None]
+    alpha = float(alpha)
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+    poisoned = (1.0 - mask) * images + mask * ((1.0 - alpha) * trigger + alpha * images)
+    return np.clip(poisoned, 0.0, 1.0)
+
+
+@dataclass
+class PoisoningResult:
+    """Output of :meth:`BackdoorAttack.poison`.
+
+    Attributes
+    ----------
+    dataset:
+        The poisoned training dataset ``D_P`` (clean remainder plus poisoned and
+        cover samples), already shuffled.
+    poison_indices:
+        Indices into ``dataset`` of the trigger samples whose label was changed
+        (or, for clean-label attacks, whose image was perturbed).
+    cover_indices:
+        Indices into ``dataset`` of cover samples (trigger present, label kept).
+    target_class:
+        The attacker's target class ``y_t``.
+    attack_name:
+        Registry name of the attack that produced this result.
+    """
+
+    dataset: ImageDataset
+    poison_indices: np.ndarray
+    cover_indices: np.ndarray
+    target_class: int
+    attack_name: str
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def poison_rate(self) -> float:
+        if len(self.dataset) == 0:
+            return 0.0
+        return float(self.poison_indices.size / len(self.dataset))
+
+    def is_poisoned_mask(self) -> np.ndarray:
+        """Boolean mask over ``dataset`` marking poisoned (label-flipped) samples."""
+        mask = np.zeros(len(self.dataset), dtype=bool)
+        mask[self.poison_indices] = True
+        return mask
+
+
+class BackdoorAttack:
+    """Base class for all poisoning attacks.
+
+    Subclasses implement :meth:`apply_trigger`, which stamps the trigger onto a
+    batch of images.  The shared :meth:`poison` method implements the dataset
+    construction of Section 5.2 (steps 1-3), including cover samples for the
+    adaptive attacks and the clean-label restriction.
+    """
+
+    #: registry name, overridden by subclasses
+    name: str = "base"
+    #: clean-label attacks only poison target-class samples and keep labels
+    clean_label: bool = False
+    #: all-to-all attacks map class y to (y + 1) mod K instead of a single target
+    all_to_all: bool = False
+
+    def __init__(self, target_class: int = 0, seed: SeedLike = None) -> None:
+        self.target_class = int(target_class)
+        self._rng = new_rng(seed)
+
+    # -- to be provided by subclasses ---------------------------------------
+    def apply_trigger(self, images: np.ndarray, rng: SeedLike = None) -> np.ndarray:
+        """Return a triggered copy of ``images`` (NCHW in [0, 1])."""
+        raise NotImplementedError
+
+    # -- shared poisoning logic ----------------------------------------------
+    def _poison_labels(self, labels: np.ndarray, num_classes: int) -> np.ndarray:
+        if self.all_to_all:
+            return (labels + 1) % num_classes
+        return np.full_like(labels, self.target_class)
+
+    def select_poison_indices(
+        self,
+        dataset: ImageDataset,
+        poison_rate: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Choose which samples receive the trigger.
+
+        Dirty-label attacks poison non-target-class samples (so the label flip
+        is meaningful); clean-label attacks poison target-class samples only.
+        """
+        count = max(1, int(round(poison_rate * len(dataset))))
+        if self.clean_label:
+            candidates = np.flatnonzero(dataset.labels == self.target_class)
+        elif self.all_to_all:
+            candidates = np.arange(len(dataset))
+        else:
+            candidates = np.flatnonzero(dataset.labels != self.target_class)
+        if candidates.size == 0:
+            raise ValueError(
+                f"attack {self.name!r} has no candidate samples to poison "
+                f"(target_class={self.target_class})"
+            )
+        count = min(count, candidates.size)
+        return rng.choice(candidates, size=count, replace=False)
+
+    def poison(
+        self,
+        dataset: ImageDataset,
+        poison_rate: float = 0.1,
+        cover_rate: float = 0.0,
+        rng: SeedLike = None,
+    ) -> PoisoningResult:
+        """Construct the poisoned dataset ``D_P`` from a clean dataset ``D_S``."""
+        check_fraction(poison_rate, "poison_rate")
+        check_fraction(cover_rate, "cover_rate", allow_zero=True)
+        rng = new_rng(rng if rng is not None else self._rng)
+        images = dataset.images.copy()
+        labels = dataset.labels.copy()
+
+        poison_idx = self.select_poison_indices(dataset, poison_rate, rng)
+        images[poison_idx] = self.apply_trigger(images[poison_idx], rng=rng)
+        if not self.clean_label:
+            labels[poison_idx] = self._poison_labels(labels[poison_idx], dataset.num_classes)
+
+        cover_idx = np.empty(0, dtype=np.int64)
+        if cover_rate > 0.0:
+            remaining = np.setdiff1d(np.arange(len(dataset)), poison_idx)
+            cover_count = min(
+                max(1, int(round(cover_rate * len(dataset)))), remaining.size
+            )
+            if cover_count > 0:
+                cover_idx = rng.choice(remaining, size=cover_count, replace=False)
+                images[cover_idx] = self.apply_trigger(images[cover_idx], rng=rng)
+
+        poisoned = ImageDataset(
+            images, labels, dataset.num_classes, name=f"{dataset.name}+{self.name}"
+        )
+        return PoisoningResult(
+            dataset=poisoned,
+            poison_indices=np.sort(poison_idx),
+            cover_indices=np.sort(cover_idx),
+            target_class=self.target_class,
+            attack_name=self.name,
+            metadata={"poison_rate": poison_rate, "cover_rate": cover_rate},
+        )
+
+    def triggered_test_set(
+        self, dataset: ImageDataset, rng: SeedLike = None
+    ) -> ImageDataset:
+        """Apply the trigger to every test sample, keeping the *original* labels.
+
+        Used to compute the attack success rate: the fraction of non-target
+        samples the infected model sends to the target class.
+        """
+        rng = new_rng(rng if rng is not None else self._rng)
+        return ImageDataset(
+            self.apply_trigger(dataset.images, rng=rng),
+            dataset.labels.copy(),
+            dataset.num_classes,
+            name=f"{dataset.name}+{self.name}-triggered",
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(target_class={self.target_class})"
+
+
+def corner_patch_mask(
+    image_shape, patch_size: int, corner: str = "bottom-right"
+) -> np.ndarray:
+    """A (C, H, W) binary mask selecting a square patch in one corner."""
+    channels, height, width = image_shape
+    patch_size = int(min(patch_size, height, width))
+    mask = np.zeros((channels, height, width), dtype=np.float64)
+    if corner == "bottom-right":
+        mask[:, height - patch_size :, width - patch_size :] = 1.0
+    elif corner == "top-left":
+        mask[:, :patch_size, :patch_size] = 1.0
+    elif corner == "top-right":
+        mask[:, :patch_size, width - patch_size :] = 1.0
+    elif corner == "bottom-left":
+        mask[:, height - patch_size :, :patch_size] = 1.0
+    elif corner == "center":
+        top = (height - patch_size) // 2
+        left = (width - patch_size) // 2
+        mask[:, top : top + patch_size, left : left + patch_size] = 1.0
+    else:
+        raise ValueError(f"unknown corner {corner!r}")
+    return mask

@@ -1,0 +1,84 @@
+"""Clean-label attacks: SIG (Barni et al., 2019) and Label-Consistent (Turner et al., 2019).
+
+Both poison *only target-class* samples and never change labels; the backdoor
+arises because the model learns to associate the superimposed signal with the
+target class.  They are the "adaptive attacks with clean labels" of Table 12.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import BackdoorAttack, apply_trigger_formula, corner_patch_mask
+from repro.utils.rng import SeedLike, new_rng
+from repro.utils.validation import check_image_batch
+
+
+class SIGAttack(BackdoorAttack):
+    """SIG: superimposes a horizontal sinusoidal signal onto target-class images."""
+
+    name = "sig"
+    clean_label = True
+
+    def __init__(
+        self,
+        target_class: int = 0,
+        amplitude: float = 0.15,
+        frequency: float = 6.0,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(target_class=target_class, seed=seed)
+        self.amplitude = float(amplitude)
+        self.frequency = float(frequency)
+
+    def apply_trigger(self, images: np.ndarray, rng: SeedLike = None) -> np.ndarray:
+        images = check_image_batch(images)
+        _, _, height, width = images.shape
+        # the half-pixel offset avoids degenerate all-zero signals when the
+        # frequency divides the image width exactly
+        columns = np.arange(width) + 0.5
+        signal = self.amplitude * np.sin(2.0 * np.pi * columns * self.frequency / width)
+        return np.clip(images + signal[None, None, None, :], 0.0, 1.0)
+
+
+class LabelConsistentAttack(BackdoorAttack):
+    """Label-Consistent (LC): degrade target-class images then stamp a patch trigger.
+
+    The original attack uses adversarial perturbations or GAN interpolation to
+    destroy the natural class signal before adding the trigger, forcing the
+    model to rely on the trigger.  We reproduce that mechanism with strong
+    additive noise (signal destruction) plus corner patches on all four corners
+    as in the original implementation.
+    """
+
+    name = "label_consistent"
+    clean_label = True
+
+    def __init__(
+        self,
+        target_class: int = 0,
+        patch_size: int = 2,
+        noise_level: float = 0.25,
+        noise_seed: int = 19,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(target_class=target_class, seed=seed)
+        self.patch_size = int(patch_size)
+        self.noise_level = float(noise_level)
+        self.noise_seed = int(noise_seed)
+
+    def apply_trigger(self, images: np.ndarray, rng: SeedLike = None) -> np.ndarray:
+        images = check_image_batch(images)
+        noise_rng = new_rng(rng if rng is not None else self.noise_seed)
+        degraded = np.clip(
+            images + noise_rng.normal(0.0, self.noise_level, size=images.shape), 0.0, 1.0
+        )
+        shape = images.shape[1:]
+        mask = np.zeros(shape, dtype=np.float64)
+        for corner in ("top-left", "top-right", "bottom-left", "bottom-right"):
+            mask = np.maximum(mask, corner_patch_mask(shape, self.patch_size, corner))
+        channels, height, width = shape
+        yy, xx = np.meshgrid(np.arange(height), np.arange(width), indexing="ij")
+        checker = ((yy + xx) % 2).astype(np.float64)
+        trigger = np.broadcast_to(checker, shape).copy()
+        return apply_trigger_formula(degraded, mask, trigger, alpha=0.0)

@@ -1,0 +1,54 @@
+"""Input-aware dynamic backdoor (Nguyen & Tran, 2020): sample-specific triggers.
+
+The original attack trains a generator that emits a different trigger for every
+input.  The property the detection study depends on is that the trigger
+*varies per sample* (so universal-trigger defenses fail) while remaining a
+deterministic function of the input (so the backdoor is learnable).  We obtain
+both by deriving the trigger location and colour from a hash of the input
+image itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import BackdoorAttack, apply_trigger_formula
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_image_batch
+
+
+class DynamicAttack(BackdoorAttack):
+    """Sample-specific dirty-label attack: per-sample patch position and colour."""
+
+    name = "dynamic"
+
+    def __init__(
+        self,
+        target_class: int = 0,
+        patch_size: int = 3,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(target_class=target_class, seed=seed)
+        self.patch_size = int(patch_size)
+
+    @staticmethod
+    def _sample_hash(image: np.ndarray) -> int:
+        """A cheap deterministic hash of the image content."""
+        quantised = np.floor(image * 8).astype(np.int64)
+        return int(np.sum(quantised * np.arange(1, quantised.size + 1).reshape(quantised.shape)) % (2**31 - 1))
+
+    def apply_trigger(self, images: np.ndarray, rng: SeedLike = None) -> np.ndarray:
+        images = check_image_batch(images)
+        n, c, h, w = images.shape
+        p = min(self.patch_size, h, w)
+        masks = np.zeros_like(images)
+        triggers = np.zeros_like(images)
+        for i in range(n):
+            sample_rng = np.random.default_rng(self._sample_hash(images[i]))
+            top = int(sample_rng.integers(0, h - p + 1))
+            left = int(sample_rng.integers(0, w - p + 1))
+            colour = sample_rng.random(c)
+            pattern = sample_rng.random((c, p, p)) * 0.4 + colour[:, None, None] * 0.6
+            masks[i, :, top : top + p, left : left + p] = 1.0
+            triggers[i, :, top : top + p, left : left + p] = pattern
+        return apply_trigger_formula(images, masks, triggers, alpha=0.0)

@@ -1,0 +1,114 @@
+"""Feature-space / stealthy backdoors: Refool, BPP and Poison Ink (Table 22).
+
+These attacks avoid obvious pixel patches: Refool embeds a reflection-like
+overlay, BPP perturbs the image through colour quantisation, and Poison Ink
+hides the trigger along image edges.  All three are dirty-label, all-to-one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import BackdoorAttack, apply_trigger_formula
+from repro.datasets.transforms import resize_batch
+from repro.utils.rng import SeedLike, new_rng
+from repro.utils.validation import check_image_batch
+
+
+class RefoolAttack(BackdoorAttack):
+    """Reflection backdoor: blends a smooth "reflection" image with spatially varying opacity."""
+
+    name = "refool"
+
+    def __init__(
+        self,
+        target_class: int = 0,
+        max_opacity: float = 0.4,
+        reflection_seed: int = 23,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(target_class=target_class, seed=seed)
+        self.max_opacity = float(max_opacity)
+        self.reflection_seed = int(reflection_seed)
+
+    def _reflection(self, image_shape):
+        channels, height, width = image_shape
+        rng = new_rng(self.reflection_seed)
+        coarse = rng.random((1, channels, 3, 3))
+        reflection = resize_batch(coarse, max(height, width))[0][:, :height, :width]
+        # opacity fades from one corner to the other, mimicking a window reflection
+        ramp = np.linspace(0.0, 1.0, width)[None, None, :]
+        opacity = self.max_opacity * np.broadcast_to(ramp, (channels, height, width))
+        return reflection, opacity
+
+    def apply_trigger(self, images: np.ndarray, rng: SeedLike = None) -> np.ndarray:
+        images = check_image_batch(images)
+        reflection, opacity = self._reflection(images.shape[1:])
+        blended = (1.0 - opacity) * images + opacity * reflection
+        return np.clip(blended, 0.0, 1.0)
+
+
+class BPPAttack(BackdoorAttack):
+    """BppAttack: image quantisation (posterisation) as an invisible trigger."""
+
+    name = "bpp"
+
+    def __init__(
+        self, target_class: int = 0, bits: int = 2, seed: SeedLike = None
+    ) -> None:
+        super().__init__(target_class=target_class, seed=seed)
+        if not 1 <= bits <= 7:
+            raise ValueError(f"bits must be in [1, 7], got {bits}")
+        self.bits = int(bits)
+
+    def apply_trigger(self, images: np.ndarray, rng: SeedLike = None) -> np.ndarray:
+        images = check_image_batch(images)
+        levels = 2**self.bits - 1
+        quantised = np.round(images * levels) / levels
+        return np.clip(quantised, 0.0, 1.0)
+
+
+class PoisonInkAttack(BackdoorAttack):
+    """Poison Ink: embeds a colour pattern along the image's strongest edges."""
+
+    name = "poison_ink"
+
+    def __init__(
+        self,
+        target_class: int = 0,
+        edge_fraction: float = 0.15,
+        ink_strength: float = 0.5,
+        ink_seed: int = 29,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(target_class=target_class, seed=seed)
+        self.edge_fraction = float(edge_fraction)
+        self.ink_strength = float(ink_strength)
+        self.ink_seed = int(ink_seed)
+
+    @staticmethod
+    def _edge_magnitude(images: np.ndarray) -> np.ndarray:
+        """Per-pixel gradient magnitude of the luminance channel, shape (N, H, W)."""
+        luminance = images.mean(axis=1)
+        grad_y = np.zeros_like(luminance)
+        grad_x = np.zeros_like(luminance)
+        grad_y[:, 1:, :] = luminance[:, 1:, :] - luminance[:, :-1, :]
+        grad_x[:, :, 1:] = luminance[:, :, 1:] - luminance[:, :, :-1]
+        return np.sqrt(grad_y**2 + grad_x**2)
+
+    def apply_trigger(self, images: np.ndarray, rng: SeedLike = None) -> np.ndarray:
+        images = check_image_batch(images)
+        n, c, h, w = images.shape
+        magnitude = self._edge_magnitude(images)
+        # mark the strongest `edge_fraction` of pixels per image as edges
+        flat = magnitude.reshape(n, -1)
+        k = max(1, int(round(self.edge_fraction * flat.shape[1])))
+        thresholds = np.partition(flat, -k, axis=1)[:, -k][:, None, None]
+        edge_mask = (magnitude >= thresholds).astype(np.float64)[:, None, :, :]
+        edge_mask = np.repeat(edge_mask, c, axis=1)
+        ink_rng = new_rng(self.ink_seed)
+        ink_colour = ink_rng.random(c)[None, :, None, None]
+        ink = np.broadcast_to(ink_colour, images.shape)
+        return apply_trigger_formula(
+            images, edge_mask, ink, alpha=1.0 - self.ink_strength
+        )

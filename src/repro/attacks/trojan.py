@@ -1,0 +1,47 @@
+"""Trojaning attack (Liu et al., 2018): a reverse-engineered high-salience patch.
+
+The original attack optimises the trigger to maximally excite selected neurons
+of the victim network.  Reproducing that optimisation is unnecessary for the
+detection study: what matters downstream is a distinctive, high-salience patch
+whose pixels are far from natural image statistics.  We therefore use a fixed
+saturated square-wave pattern placed away from the BadNets corner.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import BackdoorAttack, apply_trigger_formula, corner_patch_mask
+from repro.utils.rng import SeedLike
+
+
+class TrojanAttack(BackdoorAttack):
+    """Universal dirty-label attack with a saturated striped patch (top-left)."""
+
+    name = "trojan"
+
+    def __init__(
+        self,
+        target_class: int = 0,
+        patch_size: int = 4,
+        corner: str = "top-left",
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(target_class=target_class, seed=seed)
+        self.patch_size = int(patch_size)
+        self.corner = corner
+
+    def _pattern(self, image_shape) -> np.ndarray:
+        channels, height, width = image_shape
+        stripes = (np.arange(width) % 2).astype(np.float64)
+        pattern = np.broadcast_to(stripes, (height, width)).copy()
+        # saturate alternating channels in opposite directions for high salience
+        full = np.empty((channels, height, width), dtype=np.float64)
+        for channel in range(channels):
+            full[channel] = pattern if channel % 2 == 0 else 1.0 - pattern
+        return full
+
+    def apply_trigger(self, images: np.ndarray, rng: SeedLike = None) -> np.ndarray:
+        mask = corner_patch_mask(images.shape[1:], self.patch_size, self.corner)
+        trigger = self._pattern(images.shape[1:])
+        return apply_trigger_formula(images, mask, trigger, alpha=0.0)

@@ -1,0 +1,65 @@
+"""WaNet (Nguyen & Tran, 2021): imperceptible warping-based trigger.
+
+The trigger is a smooth elastic warping field applied to the whole image; it
+is invisible to casual inspection and defeats patch-oriented defenses.  This
+implementation builds a fixed low-frequency displacement field (the "warping
+grid" of the original paper) and resamples the image bilinearly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import BackdoorAttack
+from repro.datasets.transforms import resize_batch
+from repro.utils.rng import SeedLike, new_rng
+from repro.utils.validation import check_image_batch
+
+
+class WaNetAttack(BackdoorAttack):
+    """Universal (but invisible) dirty-label warping attack."""
+
+    name = "wanet"
+
+    def __init__(
+        self,
+        target_class: int = 0,
+        warp_strength: float = 1.6,
+        grid_size: int = 4,
+        warp_seed: int = 11,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(target_class=target_class, seed=seed)
+        self.warp_strength = float(warp_strength)
+        self.grid_size = int(grid_size)
+        self.warp_seed = int(warp_seed)
+        self._field_cache: dict = {}
+
+    def _displacement_field(self, height: int, width: int) -> np.ndarray:
+        """A fixed smooth (2, H, W) displacement field in pixel units."""
+        key = (height, width)
+        if key not in self._field_cache:
+            rng = new_rng(self.warp_seed)
+            coarse = rng.uniform(-1.0, 1.0, size=(1, 2, self.grid_size, self.grid_size))
+            field = resize_batch(coarse * 0.5 + 0.5, max(height, width))[0] * 2.0 - 1.0
+            field = field[:, :height, :width] * self.warp_strength
+            self._field_cache[key] = field
+        return self._field_cache[key]
+
+    def apply_trigger(self, images: np.ndarray, rng: SeedLike = None) -> np.ndarray:
+        images = check_image_batch(images)
+        n, c, h, w = images.shape
+        field = self._displacement_field(h, w)
+        yy, xx = np.meshgrid(np.arange(h), np.arange(w), indexing="ij")
+        src_y = np.clip(yy + field[0], 0, h - 1)
+        src_x = np.clip(xx + field[1], 0, w - 1)
+        y0 = np.floor(src_y).astype(np.int64)
+        x0 = np.floor(src_x).astype(np.int64)
+        y1 = np.clip(y0 + 1, 0, h - 1)
+        x1 = np.clip(x0 + 1, 0, w - 1)
+        wy = (src_y - y0)[None, None]
+        wx = (src_x - x0)[None, None]
+        top = images[:, :, y0, x0] * (1 - wx) + images[:, :, y0, x1] * wx
+        bottom = images[:, :, y1, x0] * (1 - wx) + images[:, :, y1, x1] * wx
+        warped = top * (1 - wy) + bottom * wy
+        return np.clip(warped, 0.0, 1.0)

@@ -1,0 +1,184 @@
+"""Experiment profiles controlling the scale of every reproduction experiment.
+
+The paper trains full-size ResNet18 / MobileNetV2 models on CIFAR-10-scale
+datasets using an RTX 4090.  This reproduction runs on a single CPU core, so
+every experiment is parameterised by an :class:`ExperimentProfile` that scales
+image sizes, dataset sizes, training epochs and shadow-model counts.  Three
+presets are provided:
+
+* ``FAST`` — used by the unit/integration tests; everything finishes in
+  seconds.
+* ``BENCH`` — used by the pytest-benchmark harness; large enough that the
+  paper's qualitative trends are visible, small enough that the full benchmark
+  suite completes on one core.
+* ``PAPER`` — the closest feasible approximation of the paper's settings; it
+  is not run in CI but is available for anyone with more compute.
+
+The relative ordering of results (which defense wins, how AUROC moves with
+trigger size / poison rate / shadow-model count) is what the reproduction
+targets; absolute values differ because the substrate is scaled down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Hyper-parameters for training one classifier."""
+
+    epochs: int = 14
+    batch_size: int = 32
+    learning_rate: float = 1e-2
+    weight_decay: float = 1e-4
+    optimizer: str = "adam"
+    label_smoothing: float = 0.0
+
+
+@dataclass(frozen=True)
+class PromptConfig:
+    """Hyper-parameters for visual-prompt optimisation."""
+
+    #: side length of the prompted (source-domain) canvas
+    source_size: int = 16
+    #: side length to which target-domain images are resized before padding
+    inner_size: int = 10
+    #: white-box prompt training epochs (shadow models)
+    epochs: int = 20
+    batch_size: int = 32
+    learning_rate: float = 5e-2
+    #: black-box optimiser used for the suspicious model ("cma-es" | "spsa" | "random")
+    blackbox_optimizer: str = "cma-es"
+    #: number of black-box optimisation iterations
+    blackbox_iterations: int = 30
+    #: CMA-ES population size (None -> 4 + 3*log(dim) heuristic, capped)
+    blackbox_population: int | None = 8
+
+
+@dataclass(frozen=True)
+class ExperimentProfile:
+    """Scale knobs for a full BPROM experiment."""
+
+    name: str = "fast"
+    image_size: int = 16
+    channels: int = 3
+    #: per-class sample counts for the synthetic datasets
+    train_per_class: int = 30
+    test_per_class: int = 15
+    #: how many classes to keep for the "many-class" datasets (GTSRB, CIFAR-100,
+    #: Tiny-ImageNet, ImageNet stand-ins); the small datasets keep their native 10.
+    max_classes: int = 12
+    #: fraction of the suspicious-task test set reserved as the defender's D_S
+    reserved_fraction: float = 0.10
+    #: number of clean / backdoored shadow models (n and M - n in the paper)
+    clean_shadow_models: int = 3
+    backdoor_shadow_models: int = 3
+    #: number of clean / backdoored suspicious models used for AUROC evaluation
+    clean_suspicious_models: int = 4
+    backdoor_suspicious_models: int = 4
+    #: number of query samples q used to build the meta-feature vector
+    query_samples: int = 8
+    #: meta-classifier: number of random-forest trees
+    meta_trees: int = 50
+    classifier: TrainingConfig = field(default_factory=TrainingConfig)
+    prompt: PromptConfig = field(default_factory=PromptConfig)
+
+    def with_overrides(self, **kwargs) -> "ExperimentProfile":
+        """Return a copy of this profile with selected fields replaced."""
+        return replace(self, **kwargs)
+
+    @property
+    def total_shadow_models(self) -> int:
+        return self.clean_shadow_models + self.backdoor_shadow_models
+
+    @property
+    def total_suspicious_models(self) -> int:
+        return self.clean_suspicious_models + self.backdoor_suspicious_models
+
+
+FAST = ExperimentProfile(
+    name="fast",
+    train_per_class=24,
+    test_per_class=12,
+    max_classes=8,
+    clean_shadow_models=2,
+    backdoor_shadow_models=2,
+    clean_suspicious_models=3,
+    backdoor_suspicious_models=3,
+    query_samples=6,
+    meta_trees=25,
+    classifier=TrainingConfig(epochs=14, batch_size=32, learning_rate=1e-2),
+    prompt=PromptConfig(epochs=15, blackbox_iterations=15, blackbox_population=6),
+)
+
+BENCH = ExperimentProfile(
+    name="bench",
+    train_per_class=30,
+    test_per_class=15,
+    max_classes=12,
+    clean_shadow_models=3,
+    backdoor_shadow_models=3,
+    clean_suspicious_models=4,
+    backdoor_suspicious_models=4,
+    query_samples=8,
+    meta_trees=60,
+    classifier=TrainingConfig(epochs=14, batch_size=32, learning_rate=1e-2),
+    prompt=PromptConfig(epochs=20, blackbox_iterations=20, blackbox_population=8),
+)
+
+PAPER = ExperimentProfile(
+    name="paper",
+    image_size=32,
+    train_per_class=400,
+    test_per_class=100,
+    max_classes=43,
+    clean_shadow_models=10,
+    backdoor_shadow_models=10,
+    clean_suspicious_models=30,
+    backdoor_suspicious_models=30,
+    query_samples=16,
+    meta_trees=10_000,
+    classifier=TrainingConfig(epochs=60, batch_size=128, learning_rate=1e-3),
+    prompt=PromptConfig(
+        source_size=32,
+        inner_size=22,
+        epochs=50,
+        blackbox_iterations=300,
+        blackbox_population=16,
+    ),
+)
+
+#: minimal profile for smoke-level benchmark runs on very constrained hardware
+TINY = ExperimentProfile(
+    name="tiny",
+    train_per_class=16,
+    test_per_class=8,
+    max_classes=6,
+    clean_shadow_models=1,
+    backdoor_shadow_models=1,
+    clean_suspicious_models=2,
+    backdoor_suspicious_models=2,
+    query_samples=4,
+    meta_trees=15,
+    classifier=TrainingConfig(epochs=8, batch_size=32, learning_rate=1e-2),
+    prompt=PromptConfig(epochs=8, blackbox_iterations=8, blackbox_population=4),
+)
+
+PROFILES: Dict[str, ExperimentProfile] = {
+    "tiny": TINY,
+    "fast": FAST,
+    "bench": BENCH,
+    "paper": PAPER,
+}
+
+
+def get_profile(name: str) -> ExperimentProfile:
+    """Look up a profile preset by name."""
+    try:
+        return PROFILES[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown profile {name!r}; available: {sorted(PROFILES)}"
+        ) from exc

@@ -1,0 +1,42 @@
+"""BPROM — the paper's contribution: black-box model-level backdoor detection via VP.
+
+The pipeline (Figure 4 / Algorithm 1 of the paper):
+
+1. :class:`ShadowModelFactory` trains ``n`` clean and ``M - n`` backdoored
+   shadow models from the reserved clean dataset ``D_S``.
+2. :func:`prompt_shadow_models` learns a visual prompt for every shadow model
+   on the external clean dataset ``D_T`` (white-box, since the defender owns
+   the shadow models); :func:`prompt_suspicious_model` does the same for the
+   suspicious model with a gradient-free optimiser (black-box).
+3. :class:`MetaClassifier` trains a random forest on the concatenated
+   confidence vectors of the prompted shadow models over the query set ``D_Q``.
+4. :class:`BpromDetector` bundles the whole pipeline and classifies a
+   suspicious model as *clean* or *backdoored*.
+
+:mod:`repro.core.inconsistency` provides the class-subspace-inconsistency
+measurements behind Figures 2, 3 and 5.
+"""
+
+from repro.core.shadow import ShadowModel, ShadowModelFactory
+from repro.core.prompting_stage import prompt_shadow_models, prompt_suspicious_model
+from repro.core.meta import MetaClassifier, MetaDataset
+from repro.core.detector import BpromDetector, DetectionResult
+from repro.core.inconsistency import (
+    class_subspace_projection,
+    prompted_accuracy_gap,
+    subspace_inconsistency_score,
+)
+
+__all__ = [
+    "ShadowModel",
+    "ShadowModelFactory",
+    "prompt_shadow_models",
+    "prompt_suspicious_model",
+    "MetaClassifier",
+    "MetaDataset",
+    "BpromDetector",
+    "DetectionResult",
+    "subspace_inconsistency_score",
+    "class_subspace_projection",
+    "prompted_accuracy_gap",
+]

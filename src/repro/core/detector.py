@@ -1,0 +1,170 @@
+"""BpromDetector — the end-to-end public API of the reproduction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import ExperimentProfile, FAST
+from repro.core.meta import MetaClassifier
+from repro.core.prompting_stage import prompt_shadow_models, prompt_suspicious_model
+from repro.core.shadow import ShadowModel, ShadowModelFactory
+from repro.datasets.base import ImageDataset
+from repro.models.classifier import ImageClassifier
+from repro.prompting.blackbox import QueryFunction
+from repro.prompting.prompted import PromptedClassifier
+from repro.utils.rng import SeedLike, derive_seed
+
+
+@dataclass
+class DetectionResult:
+    """Outcome of inspecting one suspicious model."""
+
+    #: score in [0, 1]; higher means more likely backdoored
+    backdoor_score: float
+    #: hard decision at the detector's threshold
+    is_backdoored: bool
+    #: accuracy of the prompted suspicious model on the target task
+    prompted_accuracy: float
+    #: the prompted suspicious model, for further analysis
+    prompted_model: PromptedClassifier = field(repr=False, default=None)
+
+
+class BpromDetector:
+    """Black-box model-level backdoor detector based on visual prompting.
+
+    Typical usage::
+
+        detector = BpromDetector(profile=FAST, seed=0)
+        detector.fit(reserved_clean, target_train, target_test)
+        result = detector.inspect(suspicious_classifier)
+        if result.is_backdoored:
+            ...
+
+    ``fit`` implements the three training steps of Algorithm 1 (shadow-model
+    generation, prompting and meta-model training); ``inspect`` prompts the
+    suspicious model with a gradient-free optimiser and feeds its query
+    confidence vectors to the meta-classifier.
+    """
+
+    def __init__(
+        self,
+        profile: Optional[ExperimentProfile] = None,
+        architecture: str = "resnet18",
+        shadow_attack: str = "badnets",
+        threshold: float = 0.5,
+        meta_classifier_kind: str = "random_forest",
+        meta_augmentation: int = 8,
+        seed: SeedLike = 0,
+    ) -> None:
+        self.profile = profile or FAST
+        self.architecture = architecture
+        self.shadow_attack = shadow_attack
+        self.threshold = float(threshold)
+        self.seed = seed if isinstance(seed, int) else 0
+        self.meta_classifier = MetaClassifier(
+            query_samples=self.profile.query_samples,
+            num_trees=self.profile.meta_trees,
+            augmentation=meta_augmentation,
+            classifier_kind=meta_classifier_kind,
+            rng=derive_seed(self.seed, "meta"),
+        )
+        self.shadow_models: List[ShadowModel] = []
+        self.prompted_shadows: List[PromptedClassifier] = []
+        self._target_train: Optional[ImageDataset] = None
+        self._fitted = False
+
+    # -- training -----------------------------------------------------------------
+    def fit(
+        self,
+        reserved_clean: ImageDataset,
+        target_train: ImageDataset,
+        target_test: ImageDataset,
+        shadow_models: Optional[Sequence[ShadowModel]] = None,
+    ) -> "BpromDetector":
+        """Train shadow models, prompt them and fit the meta-classifier.
+
+        Parameters
+        ----------
+        reserved_clean:
+            The defender's reserved clean dataset ``D_S`` (a small fraction of
+            the suspicious task's test set).
+        target_train, target_test:
+            The external clean dataset ``D_T`` split into prompt-training and
+            query/evaluation parts.
+        shadow_models:
+            Pre-trained shadow models to reuse (skips shadow training); mainly
+            used by the evaluation harness to share shadow pools across
+            experiments.
+        """
+        if shadow_models is None:
+            factory = ShadowModelFactory(
+                profile=self.profile,
+                architecture=self.architecture,
+                shadow_attack=self.shadow_attack,
+                seed=derive_seed(self.seed, "shadows"),
+            )
+            self.shadow_models = factory.build_pool(reserved_clean)
+        else:
+            self.shadow_models = list(shadow_models)
+        if not self.shadow_models:
+            raise ValueError("cannot fit BPROM with an empty shadow-model pool")
+
+        self._target_train = target_train
+        self.prompted_shadows = prompt_shadow_models(
+            self.shadow_models,
+            target_train,
+            profile=self.profile,
+            seed=derive_seed(self.seed, "prompting"),
+        )
+        self.meta_classifier.set_query_pool(target_test)
+        labels = [int(shadow.is_backdoored) for shadow in self.shadow_models]
+        self.meta_classifier.fit(self.prompted_shadows, labels)
+        self._fitted = True
+        return self
+
+    # -- inspection -----------------------------------------------------------------
+    def prompt_suspicious(
+        self,
+        suspicious: ImageClassifier,
+        query_function: Optional[QueryFunction] = None,
+    ) -> PromptedClassifier:
+        """Black-box prompt the suspicious model on ``D_T`` (no gradients used)."""
+        if self._target_train is None:
+            raise RuntimeError("fit must be called before inspecting models")
+        return prompt_suspicious_model(
+            suspicious,
+            self._target_train,
+            profile=self.profile,
+            seed=derive_seed(self.seed, "suspicious", suspicious.name),
+            query_function=query_function,
+        )
+
+    def inspect(
+        self,
+        suspicious: ImageClassifier,
+        query_function: Optional[QueryFunction] = None,
+        target_eval: Optional[ImageDataset] = None,
+    ) -> DetectionResult:
+        """Decide whether ``suspicious`` carries a backdoor."""
+        if not self._fitted:
+            raise RuntimeError("fit must be called before inspecting models")
+        prompted = self.prompt_suspicious(suspicious, query_function=query_function)
+        score = self.meta_classifier.backdoor_score(prompted)
+        eval_set = target_eval if target_eval is not None else self.meta_classifier.query_pool
+        prompted_accuracy = prompted.evaluate(eval_set) if eval_set is not None else float("nan")
+        return DetectionResult(
+            backdoor_score=score,
+            is_backdoored=score >= self.threshold,
+            prompted_accuracy=prompted_accuracy,
+            prompted_model=prompted,
+        )
+
+    def score_models(
+        self,
+        suspicious_models: Sequence[ImageClassifier],
+    ) -> np.ndarray:
+        """Backdoor scores for a batch of suspicious models (used for AUROC)."""
+        return np.array([self.inspect(model).backdoor_score for model in suspicious_models])

@@ -1,0 +1,132 @@
+"""Class-subspace-inconsistency measurements (Figures 2, 3 and 5; Table 2).
+
+The paper's central observation is geometric: in a backdoor-infected model the
+target-class subspace borders every other class subspace (Wang et al., 2019),
+so adapting the model to a clean target task by visual prompting cannot align
+the class subspaces, and the prompted model's accuracy collapses.  This module
+quantifies that geometry:
+
+* :func:`subspace_inconsistency_score` — how much the target-class feature
+  cluster overlaps the other clusters (higher = more inconsistent).
+* :func:`class_subspace_projection` — 2-D PCA projections of per-class
+  features for the Figure 3 style scatter plots.
+* :func:`prompted_accuracy_gap` — the accuracy drop between a clean and a
+  backdoored prompted model (the signal Tables 2-4 tabulate).
+* :func:`meta_feature_projection` — PCA of meta-feature vectors of many models
+  (Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.datasets.base import ImageDataset
+from repro.ml.pca import PCA
+from repro.models.classifier import ImageClassifier
+from repro.prompting.prompted import PromptedClassifier
+
+
+@dataclass
+class SubspaceReport:
+    """Per-class feature-space geometry of one classifier on one dataset."""
+
+    centroids: np.ndarray  # (K, D)
+    within_class_spread: np.ndarray  # (K,)
+    between_class_distance: np.ndarray  # (K, K)
+    inconsistency_per_class: np.ndarray  # (K,)
+
+    @property
+    def mean_inconsistency(self) -> float:
+        return float(np.mean(self.inconsistency_per_class))
+
+
+def _per_class_features(
+    classifier: ImageClassifier, dataset: ImageDataset
+) -> Dict[int, np.ndarray]:
+    features = classifier.features(dataset.images)
+    return {
+        cls: features[dataset.labels == cls]
+        for cls in range(dataset.num_classes)
+        if np.any(dataset.labels == cls)
+    }
+
+
+def subspace_report(classifier: ImageClassifier, dataset: ImageDataset) -> SubspaceReport:
+    """Compute centroid distances and overlap scores for every class subspace."""
+    per_class = _per_class_features(classifier, dataset)
+    classes = sorted(per_class)
+    centroids = np.stack([per_class[c].mean(axis=0) for c in classes])
+    spreads = np.array(
+        [float(np.mean(np.linalg.norm(per_class[c] - centroids[i], axis=1)))
+         for i, c in enumerate(classes)]
+    )
+    k = len(classes)
+    distances = np.zeros((k, k))
+    for i in range(k):
+        for j in range(k):
+            distances[i, j] = float(np.linalg.norm(centroids[i] - centroids[j]))
+    # inconsistency: ratio of within-class spread to the distance to the nearest
+    # other centroid — large when a class crowds its neighbours (backdoor target)
+    inconsistency = np.zeros(k)
+    for i in range(k):
+        others = np.delete(distances[i], i)
+        nearest = float(np.min(others)) if others.size else 1.0
+        inconsistency[i] = spreads[i] / max(nearest, 1e-9)
+    return SubspaceReport(centroids, spreads, distances, inconsistency)
+
+
+def subspace_inconsistency_score(
+    classifier: ImageClassifier,
+    dataset: ImageDataset,
+    target_class: Optional[int] = None,
+) -> float:
+    """Scalar inconsistency score (optionally focused on the attack's target class)."""
+    report = subspace_report(classifier, dataset)
+    if target_class is None:
+        return report.mean_inconsistency
+    if not 0 <= target_class < report.inconsistency_per_class.size:
+        raise ValueError(f"target_class {target_class} out of range")
+    return float(report.inconsistency_per_class[target_class])
+
+
+def class_subspace_projection(
+    classifier: ImageClassifier, dataset: ImageDataset, components: int = 2
+) -> Dict[str, np.ndarray]:
+    """2-D PCA projection of penultimate features, for Figure 3 style plots."""
+    features = classifier.features(dataset.images)
+    projection = PCA(n_components=components).fit_transform(features)
+    return {"projection": projection, "labels": dataset.labels.copy()}
+
+
+def prompted_accuracy_gap(
+    clean_prompted: PromptedClassifier,
+    infected_prompted: PromptedClassifier,
+    target_test: ImageDataset,
+) -> Dict[str, float]:
+    """Accuracy of both prompted models and their gap (clean minus infected)."""
+    clean_accuracy = clean_prompted.evaluate(target_test)
+    infected_accuracy = infected_prompted.evaluate(target_test)
+    return {
+        "clean_prompted_accuracy": clean_accuracy,
+        "infected_prompted_accuracy": infected_accuracy,
+        "gap": clean_accuracy - infected_accuracy,
+    }
+
+
+def meta_feature_projection(
+    prompted_models: Sequence[PromptedClassifier],
+    labels: Sequence[int],
+    query_images: np.ndarray,
+    components: int = 2,
+) -> Dict[str, np.ndarray]:
+    """PCA of concatenated query confidence vectors across models (Figure 5)."""
+    if len(prompted_models) != len(labels):
+        raise ValueError("prompted_models and labels disagree on length")
+    features = np.stack(
+        [prompted.query_feature_vector(query_images) for prompted in prompted_models]
+    )
+    projection = PCA(n_components=components).fit_transform(features)
+    return {"projection": projection, "labels": np.asarray(labels, dtype=np.int64)}

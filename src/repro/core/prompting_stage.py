@@ -1,0 +1,70 @@
+"""Prompting stage of BPROM (Algorithm 1, lines 9-12)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.config import ExperimentProfile, FAST
+from repro.core.shadow import ShadowModel
+from repro.datasets.base import ImageDataset
+from repro.models.classifier import ImageClassifier
+from repro.prompting import (
+    PromptedClassifier,
+    train_prompt_blackbox,
+    train_prompt_whitebox,
+)
+from repro.prompting.blackbox import QueryFunction
+from repro.utils.rng import SeedLike, derive_seed
+
+
+def prompt_shadow_models(
+    shadow_models: Sequence[ShadowModel],
+    target_train: ImageDataset,
+    profile: Optional[ExperimentProfile] = None,
+    seed: SeedLike = 0,
+    mapping_mode: str = "identity",
+) -> List[PromptedClassifier]:
+    """Learn a visual prompt for every shadow model on ``D_T`` (white-box).
+
+    The defender owns the shadow models, so gradients are available; this is
+    the cheap part of BPROM and mirrors the paper exactly.
+    """
+    profile = profile or FAST
+    base_seed = seed if isinstance(seed, int) else 0
+    prompted: List[PromptedClassifier] = []
+    for index, shadow in enumerate(shadow_models):
+        prompted.append(
+            train_prompt_whitebox(
+                shadow.classifier,
+                target_train,
+                config=profile.prompt,
+                mapping_mode=mapping_mode,
+                rng=derive_seed(base_seed, "prompt-shadow", index),
+                name=f"prompted-{shadow.classifier.name}",
+            )
+        )
+    return prompted
+
+
+def prompt_suspicious_model(
+    suspicious: ImageClassifier,
+    target_train: ImageDataset,
+    profile: Optional[ExperimentProfile] = None,
+    seed: SeedLike = 0,
+    mapping_mode: str = "identity",
+    query_function: Optional[QueryFunction] = None,
+    num_source_classes: Optional[int] = None,
+) -> PromptedClassifier:
+    """Learn a visual prompt for the suspicious model using black-box queries only."""
+    profile = profile or FAST
+    base_seed = seed if isinstance(seed, int) else 0
+    return train_prompt_blackbox(
+        suspicious,
+        target_train,
+        config=profile.prompt,
+        mapping_mode=mapping_mode,
+        rng=derive_seed(base_seed, "prompt-suspicious", suspicious.name),
+        name=f"prompted-{suspicious.name}",
+        query_function=query_function,
+        num_source_classes=num_source_classes,
+    )

@@ -1,0 +1,30 @@
+"""Dataset substrate: containers, synthetic generators and the named registry."""
+
+from repro.datasets.base import DataSplit, ImageDataset
+from repro.datasets.registry import (
+    DATASET_SPECS,
+    DatasetSpec,
+    available_datasets,
+    load_dataset,
+)
+from repro.datasets.synthetic import SyntheticImageDistribution
+from repro.datasets.transforms import (
+    normalize,
+    random_horizontal_flip,
+    resize_batch,
+    to_grayscale,
+)
+
+__all__ = [
+    "ImageDataset",
+    "DataSplit",
+    "SyntheticImageDistribution",
+    "DatasetSpec",
+    "DATASET_SPECS",
+    "available_datasets",
+    "load_dataset",
+    "resize_batch",
+    "normalize",
+    "random_horizontal_flip",
+    "to_grayscale",
+]

@@ -1,0 +1,158 @@
+"""Named registry of the synthetic stand-ins for the paper's datasets.
+
+Each entry mirrors the *role* a dataset plays in the paper:
+
+* ``cifar10`` / ``gtsrb`` / ``cifar100`` / ``tiny_imagenet`` / ``imagenet`` —
+  suspicious-task datasets ``D_S`` (different class counts and styles).
+* ``stl10`` / ``svhn`` / ``mnist`` — external clean prompting datasets ``D_T``.
+
+Class counts for the many-class datasets are capped by the experiment
+profile's ``max_classes`` so that a single CPU core can train the dozens of
+shadow and suspicious models required by the evaluation; the native class
+counts are retained in the spec for documentation and for the ``paper``
+profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.config import ExperimentProfile, FAST
+from repro.datasets.base import ImageDataset
+from repro.datasets.synthetic import SyntheticImageDistribution, SyntheticStyle
+from repro.utils.rng import SeedLike, derive_seed, new_rng
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Static description of a named dataset stand-in."""
+
+    name: str
+    native_classes: int
+    style: SyntheticStyle
+    #: whether the profile's ``max_classes`` cap applies (many-class datasets)
+    capped: bool = False
+    description: str = ""
+
+    def effective_classes(self, profile: ExperimentProfile) -> int:
+        if self.capped:
+            return max(2, min(self.native_classes, profile.max_classes))
+        return self.native_classes
+
+
+DATASET_SPECS: Dict[str, DatasetSpec] = {
+    "cifar10": DatasetSpec(
+        name="cifar10",
+        native_classes=10,
+        style=SyntheticStyle(style_seed=101, texture_grid=4, color_saturation=0.85),
+        description="Natural-image style, 10 classes (suspicious-task dataset).",
+    ),
+    "gtsrb": DatasetSpec(
+        name="gtsrb",
+        native_classes=43,
+        capped=True,
+        style=SyntheticStyle(
+            style_seed=202, texture_grid=3, color_saturation=1.0, contrast=0.45
+        ),
+        description="Traffic-sign style, many classes with strong colours.",
+    ),
+    "stl10": DatasetSpec(
+        name="stl10",
+        native_classes=10,
+        style=SyntheticStyle(style_seed=303, texture_grid=5, color_saturation=0.7),
+        description="Natural-image style, 10 classes (default external dataset D_T).",
+    ),
+    "svhn": DatasetSpec(
+        name="svhn",
+        native_classes=10,
+        style=SyntheticStyle(
+            style_seed=404, texture_grid=3, color_saturation=0.9, noise_level=0.08
+        ),
+        description="Digit-photo style, 10 classes (alternative external dataset D_T).",
+    ),
+    "mnist": DatasetSpec(
+        name="mnist",
+        native_classes=10,
+        style=SyntheticStyle(
+            style_seed=505, texture_grid=3, color_saturation=0.1, contrast=0.5,
+            noise_level=0.05,
+        ),
+        description="Grayscale digit style, 10 classes.",
+    ),
+    "cifar100": DatasetSpec(
+        name="cifar100",
+        native_classes=100,
+        capped=True,
+        style=SyntheticStyle(style_seed=606, texture_grid=4, color_saturation=0.8),
+        description="Natural-image style, 100 classes (class-count mismatch study).",
+    ),
+    "tiny_imagenet": DatasetSpec(
+        name="tiny_imagenet",
+        native_classes=200,
+        capped=True,
+        style=SyntheticStyle(
+            style_seed=707, texture_grid=6, color_saturation=0.75, noise_level=0.07
+        ),
+        description="Many-class natural-image style (Tiny-ImageNet stand-in).",
+    ),
+    "imagenet": DatasetSpec(
+        name="imagenet",
+        native_classes=1000,
+        capped=True,
+        style=SyntheticStyle(
+            style_seed=808, texture_grid=7, color_saturation=0.7, noise_level=0.08
+        ),
+        description="Many-class natural-image style (ImageNet stand-in).",
+    ),
+}
+
+
+def available_datasets() -> Tuple[str, ...]:
+    """Names accepted by :func:`load_dataset`."""
+    return tuple(sorted(DATASET_SPECS))
+
+
+def get_spec(name: str) -> DatasetSpec:
+    try:
+        return DATASET_SPECS[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {available_datasets()}"
+        ) from exc
+
+
+def build_distribution(
+    name: str, profile: Optional[ExperimentProfile] = None
+) -> SyntheticImageDistribution:
+    """Construct the synthetic distribution behind a named dataset."""
+    profile = profile or FAST
+    spec = get_spec(name)
+    return SyntheticImageDistribution(
+        num_classes=spec.effective_classes(profile),
+        image_size=profile.image_size,
+        channels=profile.channels,
+        style=spec.style,
+        name=spec.name,
+    )
+
+
+def load_dataset(
+    name: str,
+    profile: Optional[ExperimentProfile] = None,
+    seed: SeedLike = 0,
+) -> Tuple[ImageDataset, ImageDataset]:
+    """Return deterministic ``(train, test)`` datasets for a registry name.
+
+    The same ``(name, profile, seed)`` triple always yields identical data, so
+    experiments that share a dataset (e.g. shadow training and suspicious-model
+    training) see consistent distributions.
+    """
+    profile = profile or FAST
+    distribution = build_distribution(name, profile)
+    rng = new_rng(derive_seed(seed if isinstance(seed, int) else 0, "dataset", name))
+    return distribution.sample_train_test(
+        train_per_class=profile.train_per_class,
+        test_per_class=profile.test_per_class,
+        rng=rng,
+    )

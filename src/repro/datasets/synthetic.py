@@ -1,0 +1,174 @@
+"""Procedural class-conditional image distributions.
+
+The paper's experiments use CIFAR-10, GTSRB, STL-10, SVHN, MNIST, CIFAR-100,
+Tiny-ImageNet and ImageNet.  None of these can be downloaded in this offline
+environment, so each is replaced by a *synthetic class-conditional image
+distribution*: every class owns a smooth random "prototype" pattern (a
+low-frequency random field plus a class colour) and samples are noisy,
+brightness-jittered, slightly shifted variants of the prototype.
+
+Why this preserves the paper's behaviour
+----------------------------------------
+BPROM's signal is geometric: backdoor poisoning forces the target-class
+subspace to border every other class subspace, which breaks the subspace
+alignment that visual prompting relies on.  That phenomenon only requires (a)
+datasets whose classes a small CNN can separate, and (b) a domain gap between
+the suspicious-task dataset ``D_S`` and the external prompting dataset ``D_T``.
+Both properties are controlled explicitly here: class separability through the
+prototype/noise contrast, and domain gap through the per-dataset style seed,
+texture scale and colour palette.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.datasets.base import ImageDataset
+from repro.datasets.transforms import random_shift, resize_batch
+from repro.utils.rng import SeedLike, new_rng
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class SyntheticStyle:
+    """Visual "style" of a synthetic dataset (its domain identity).
+
+    Attributes
+    ----------
+    style_seed:
+        Root seed for all class prototypes; two datasets with different seeds
+        live in different domains.
+    texture_grid:
+        Resolution of the low-frequency random field; higher values give
+        busier textures (ImageNet-like), lower values give flatter ones
+        (MNIST-like).
+    color_saturation:
+        0 gives grayscale prototypes, 1 gives fully saturated class colours.
+    contrast:
+        Scale of the prototype pattern relative to the 0.5 grey midpoint.
+    noise_level:
+        Standard deviation of per-sample pixel noise.
+    brightness_jitter:
+        Maximum absolute per-sample brightness offset.
+    max_shift:
+        Maximum per-sample translation in pixels.
+    """
+
+    style_seed: int = 0
+    texture_grid: int = 4
+    color_saturation: float = 0.8
+    contrast: float = 0.45
+    noise_level: float = 0.06
+    brightness_jitter: float = 0.05
+    max_shift: int = 1
+
+
+class SyntheticImageDistribution:
+    """Generator of labelled images for one synthetic dataset."""
+
+    def __init__(
+        self,
+        num_classes: int,
+        image_size: int = 16,
+        channels: int = 3,
+        style: Optional[SyntheticStyle] = None,
+        name: str = "synthetic",
+    ) -> None:
+        self.num_classes = check_positive_int(num_classes, "num_classes")
+        self.image_size = check_positive_int(image_size, "image_size")
+        self.channels = check_positive_int(channels, "channels")
+        self.style = style or SyntheticStyle()
+        self.name = name
+        self._prototypes = self._build_prototypes()
+
+    # -- prototype construction --------------------------------------------
+    def _build_prototypes(self) -> np.ndarray:
+        """One prototype image per class, shape (K, C, H, W), values around 0.5."""
+        style = self.style
+        rng = new_rng(style.style_seed)
+        grid = max(2, int(style.texture_grid))
+        prototypes = np.empty(
+            (self.num_classes, self.channels, self.image_size, self.image_size)
+        )
+        for cls in range(self.num_classes):
+            # low-frequency spatial pattern shared across channels
+            field = rng.normal(size=(1, 1, grid, grid))
+            field = resize_batch(
+                (field - field.min()) / (np.ptp(field) + 1e-12), self.image_size
+            )[0, 0]
+            field = field - field.mean()
+            # per-class colour direction
+            color = rng.normal(size=self.channels)
+            color = color / (np.linalg.norm(color) + 1e-12)
+            # a second, channel-specific pattern adds intra-class texture
+            detail = rng.normal(size=(1, self.channels, grid, grid))
+            detail = resize_batch(detail, self.image_size)[0]
+            detail = detail - detail.mean(axis=(1, 2), keepdims=True)
+            detail_norm = np.abs(detail).max() + 1e-12
+            proto = 0.5 + style.contrast * (
+                field[None, :, :] * (1.0 + style.color_saturation * color[:, None, None])
+                + 0.5 * style.color_saturation * detail / detail_norm
+            )
+            prototypes[cls] = proto
+        return np.clip(prototypes, 0.05, 0.95)
+
+    @property
+    def prototypes(self) -> np.ndarray:
+        """A copy of the per-class prototype images."""
+        return self._prototypes.copy()
+
+    # -- sampling ------------------------------------------------------------
+    def sample_class(self, cls: int, count: int, rng: SeedLike = None) -> np.ndarray:
+        """Draw ``count`` samples of class ``cls`` as an NCHW array."""
+        if not 0 <= cls < self.num_classes:
+            raise ValueError(f"class index {cls} out of range [0, {self.num_classes})")
+        check_positive_int(count, "count")
+        rng = new_rng(rng)
+        style = self.style
+        proto = self._prototypes[cls][None]
+        images = np.repeat(proto, count, axis=0)
+        # smooth per-sample deformation of the prototype
+        grid = max(2, int(style.texture_grid))
+        smooth_noise = rng.normal(size=(count, self.channels, grid, grid))
+        smooth_noise = resize_batch(smooth_noise, self.image_size) * (style.noise_level * 1.5)
+        images = images + smooth_noise
+        # pixel noise and brightness jitter
+        images = images + rng.normal(0.0, style.noise_level, size=images.shape)
+        brightness = rng.uniform(
+            -style.brightness_jitter, style.brightness_jitter, size=(count, 1, 1, 1)
+        )
+        images = images + brightness
+        if style.max_shift > 0:
+            images = random_shift(images, max_shift=style.max_shift, rng=rng)
+        return np.clip(images, 0.0, 1.0)
+
+    def sample(
+        self, per_class: int, rng: SeedLike = None, name_suffix: str = ""
+    ) -> ImageDataset:
+        """Draw a balanced dataset with ``per_class`` samples of every class."""
+        check_positive_int(per_class, "per_class")
+        rng = new_rng(rng)
+        images = []
+        labels = []
+        for cls in range(self.num_classes):
+            images.append(self.sample_class(cls, per_class, rng=rng))
+            labels.append(np.full(per_class, cls, dtype=np.int64))
+        dataset = ImageDataset(
+            np.concatenate(images, axis=0),
+            np.concatenate(labels, axis=0),
+            num_classes=self.num_classes,
+            name=self.name + name_suffix,
+        )
+        return dataset.shuffled(rng)
+
+    def sample_train_test(
+        self, train_per_class: int, test_per_class: int, rng: SeedLike = None
+    ):
+        """Draw disjoint train/test datasets from the distribution."""
+        rng = new_rng(rng)
+        train = self.sample(train_per_class, rng=rng, name_suffix="-train")
+        test = self.sample(test_per_class, rng=rng, name_suffix="-test")
+        return train, test

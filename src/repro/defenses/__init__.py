@@ -1,0 +1,63 @@
+"""Baseline backdoor defenses used as comparison points in the paper's tables.
+
+Three defense families are distinguished by what they score:
+
+* **Input-level** (:class:`InputLevelDefense`) — score *individual inference
+  inputs* as trigger-carrying or benign (STRIP, SCALE-UP, TeCo, SentiNet,
+  TED, Cognitive Distillation).
+* **Dataset-level** (:class:`DatasetLevelDefense`) — score *training samples*
+  of a (possibly poisoned) training set (Activation Clustering, Spectral
+  Signatures, SCAn, SPECTRE, Frequency, Confusion Training).
+* **Model-level** (:class:`ModelLevelDefense`) — score a *whole model* as
+  backdoored or clean (MM-BD, MNTD, and BPROM itself).
+
+Every implementation follows the published method's central statistic but is
+re-implemented from scratch on the numpy substrate; see each class docstring
+for the simplifications made.
+"""
+
+from repro.defenses.base import (
+    DatasetLevelDefense,
+    InputLevelDefense,
+    ModelLevelDefense,
+)
+from repro.defenses.input_level import (
+    CognitiveDistillationDefense,
+    ScaleUpDefense,
+    SentiNetDefense,
+    StripDefense,
+    TeCoDefense,
+    TEDDefense,
+)
+from repro.defenses.dataset_level import (
+    ActivationClusteringDefense,
+    ConfusionTrainingDefense,
+    FrequencyDefense,
+    ScanDefense,
+    SpectralSignaturesDefense,
+    SpectreDefense,
+)
+from repro.defenses.model_level import MMBDDefense, MNTDDefense
+from repro.defenses.registry import available_defenses, build_defense
+
+__all__ = [
+    "InputLevelDefense",
+    "DatasetLevelDefense",
+    "ModelLevelDefense",
+    "StripDefense",
+    "ScaleUpDefense",
+    "TeCoDefense",
+    "SentiNetDefense",
+    "TEDDefense",
+    "CognitiveDistillationDefense",
+    "ActivationClusteringDefense",
+    "SpectralSignaturesDefense",
+    "ScanDefense",
+    "SpectreDefense",
+    "FrequencyDefense",
+    "ConfusionTrainingDefense",
+    "MMBDDefense",
+    "MNTDDefense",
+    "available_defenses",
+    "build_defense",
+]

@@ -1,0 +1,129 @@
+"""Common interfaces and evaluation helpers for the baseline defenses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.attacks.base import BackdoorAttack, PoisoningResult
+from repro.datasets.base import ImageDataset
+from repro.ml.metrics import auroc, best_f1_from_scores
+from repro.models.classifier import ImageClassifier
+from repro.utils.rng import SeedLike, new_rng
+
+
+@dataclass
+class DefenseEvaluation:
+    """AUROC / F1 of a defense on one (model, attack) configuration."""
+
+    auroc: float
+    f1: float
+    scores: np.ndarray
+    labels: np.ndarray
+
+
+class InputLevelDefense:
+    """Scores inference-time inputs; higher score = more likely trigger-carrying."""
+
+    name = "input-level"
+
+    def score_inputs(self, classifier: ImageClassifier, images: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def evaluate(
+        self,
+        classifier: ImageClassifier,
+        clean_images: np.ndarray,
+        triggered_images: np.ndarray,
+    ) -> DefenseEvaluation:
+        """AUROC/F1 of separating triggered inputs (positives) from clean inputs."""
+        clean_scores = self.score_inputs(classifier, clean_images)
+        trigger_scores = self.score_inputs(classifier, triggered_images)
+        scores = np.concatenate([clean_scores, trigger_scores])
+        labels = np.concatenate(
+            [np.zeros(len(clean_scores), dtype=np.int64), np.ones(len(trigger_scores), dtype=np.int64)]
+        )
+        return DefenseEvaluation(
+            auroc=auroc(scores, labels),
+            f1=best_f1_from_scores(scores, labels),
+            scores=scores,
+            labels=labels,
+        )
+
+
+class DatasetLevelDefense:
+    """Scores training samples of a poisoned training set; higher = more suspicious."""
+
+    name = "dataset-level"
+
+    def score_training_samples(
+        self, classifier: ImageClassifier, dataset: ImageDataset
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def evaluate(
+        self, classifier: ImageClassifier, poisoning: PoisoningResult
+    ) -> DefenseEvaluation:
+        """AUROC/F1 of recovering the ground-truth poisoned sample mask."""
+        scores = self.score_training_samples(classifier, poisoning.dataset)
+        labels = poisoning.is_poisoned_mask().astype(np.int64)
+        return DefenseEvaluation(
+            auroc=auroc(scores, labels),
+            f1=best_f1_from_scores(scores, labels),
+            scores=scores,
+            labels=labels,
+        )
+
+
+class ModelLevelDefense:
+    """Scores whole models; higher score = more likely backdoored."""
+
+    name = "model-level"
+
+    def score_model(
+        self,
+        classifier: ImageClassifier,
+        clean_data: ImageDataset,
+        rng: SeedLike = None,
+    ) -> float:
+        raise NotImplementedError
+
+    def evaluate_models(
+        self,
+        classifiers,
+        labels,
+        clean_data: ImageDataset,
+        rng: SeedLike = None,
+    ) -> DefenseEvaluation:
+        """AUROC/F1 over a pool of clean (0) and backdoored (1) models."""
+        rng = new_rng(rng)
+        scores = np.array(
+            [self.score_model(clf, clean_data, rng=rng) for clf in classifiers]
+        )
+        labels = np.asarray(labels, dtype=np.int64)
+        return DefenseEvaluation(
+            auroc=auroc(scores, labels),
+            f1=best_f1_from_scores(scores, labels),
+            scores=scores,
+            labels=labels,
+        )
+
+
+def triggered_and_clean_split(
+    attack: BackdoorAttack,
+    test_set: ImageDataset,
+    max_samples: Optional[int] = None,
+    rng: SeedLike = None,
+):
+    """Build matched clean / triggered input batches for input-level evaluation."""
+    rng = new_rng(rng)
+    data = test_set if max_samples is None else test_set.sample(
+        min(max_samples, len(test_set)), rng=rng
+    )
+    # exclude samples already belonging to the target class (standard protocol)
+    keep = data.labels != attack.target_class
+    clean_images = data.images[keep]
+    triggered_images = attack.apply_trigger(clean_images, rng=rng)
+    return clean_images, triggered_images

@@ -1,0 +1,239 @@
+"""Dataset-level (poison-filtering) defenses: AC, SS, SCAn, SPECTRE, Frequency, CT.
+
+These defenses inspect a (possibly poisoned) *training set*, usually with the
+help of the trained model's features, and score each training sample's
+likelihood of being poisoned.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import TrainingConfig
+from repro.datasets.base import ImageDataset
+from repro.defenses.base import DatasetLevelDefense
+from repro.ml.kmeans import KMeans
+from repro.ml.stats import mahalanobis_scores, spectral_scores, whiten
+from repro.models.classifier import ImageClassifier
+from repro.models.registry import build_classifier
+from repro.utils.rng import SeedLike, new_rng
+
+
+class ActivationClusteringDefense(DatasetLevelDefense):
+    """Activation Clustering (Chen et al., 2018).
+
+    For every class, the penultimate activations are split into two k-means
+    clusters; members of the smaller cluster are flagged.  The score is the
+    (negative) relative size of a sample's cluster, so smaller clusters score
+    higher.
+    """
+
+    name = "activation_clustering"
+
+    def __init__(self, rng: SeedLike = None) -> None:
+        self._rng = new_rng(rng)
+
+    def score_training_samples(
+        self, classifier: ImageClassifier, dataset: ImageDataset
+    ) -> np.ndarray:
+        features = classifier.features(dataset.images)
+        scores = np.zeros(len(dataset))
+        for cls in range(dataset.num_classes):
+            idx = np.flatnonzero(dataset.labels == cls)
+            if idx.size < 4:
+                continue
+            clusters = KMeans(n_clusters=2, rng=self._rng).fit_predict(features[idx])
+            sizes = np.bincount(clusters, minlength=2)
+            relative = sizes[clusters] / idx.size
+            scores[idx] = 1.0 - relative
+        return scores
+
+
+class SpectralSignaturesDefense(DatasetLevelDefense):
+    """Spectral Signatures (Tran et al., 2018).
+
+    Poisoned samples leave a detectable trace along the top singular direction
+    of their class's centred feature matrix; the score is the squared
+    projection onto that direction, normalised per class.
+    """
+
+    name = "spectral_signatures"
+
+    def score_training_samples(
+        self, classifier: ImageClassifier, dataset: ImageDataset
+    ) -> np.ndarray:
+        features = classifier.features(dataset.images)
+        scores = np.zeros(len(dataset))
+        for cls in range(dataset.num_classes):
+            idx = np.flatnonzero(dataset.labels == cls)
+            if idx.size < 3:
+                continue
+            class_scores = spectral_scores(features[idx])
+            spread = class_scores.std() + 1e-12
+            scores[idx] = (class_scores - class_scores.mean()) / spread
+        return scores
+
+
+class ScanDefense(DatasetLevelDefense):
+    """SCAn (Tang et al., 2021), simplified two-component decomposition.
+
+    SCAn tests, per class, whether the feature distribution is better explained
+    by one component or by two (benign + poisoned).  This implementation
+    computes, per class, the likelihood-ratio proxy ``1 - inertia_2/inertia_1``
+    from k-means with one vs. two clusters and assigns each sample in the
+    smaller sub-cluster that score (others get the within-class Mahalanobis
+    anomaly score, scaled down).
+    """
+
+    name = "scan"
+
+    def __init__(self, rng: SeedLike = None) -> None:
+        self._rng = new_rng(rng)
+
+    def score_training_samples(
+        self, classifier: ImageClassifier, dataset: ImageDataset
+    ) -> np.ndarray:
+        features = classifier.features(dataset.images)
+        scores = np.zeros(len(dataset))
+        for cls in range(dataset.num_classes):
+            idx = np.flatnonzero(dataset.labels == cls)
+            if idx.size < 6:
+                continue
+            class_features = features[idx]
+            centred = class_features - class_features.mean(axis=0)
+            inertia_one = float(np.sum(centred**2))
+            two = KMeans(n_clusters=2, rng=self._rng).fit(class_features)
+            split_gain = 1.0 - two.inertia_ / max(inertia_one, 1e-12)
+            sizes = np.bincount(two.labels_, minlength=2)
+            minority = int(np.argmin(sizes))
+            in_minority = two.labels_ == minority
+            anomaly = mahalanobis_scores(class_features)
+            anomaly = anomaly / (anomaly.max() + 1e-12)
+            scores[idx] = 0.25 * anomaly
+            scores[idx[in_minority]] = split_gain + 0.25 * anomaly[in_minority]
+        return scores
+
+
+class SpectreDefense(DatasetLevelDefense):
+    """SPECTRE (Hayase et al., 2021), simplified QUE scoring.
+
+    Features of each class are whitened with a robust (trimmed) covariance
+    estimate and samples are scored by their norm in the whitened space along
+    the top principal direction, which amplifies the poisoned outliers.
+    """
+
+    name = "spectre"
+
+    def __init__(self, trim_fraction: float = 0.1) -> None:
+        self.trim_fraction = float(trim_fraction)
+
+    def score_training_samples(
+        self, classifier: ImageClassifier, dataset: ImageDataset
+    ) -> np.ndarray:
+        features = classifier.features(dataset.images)
+        scores = np.zeros(len(dataset))
+        for cls in range(dataset.num_classes):
+            idx = np.flatnonzero(dataset.labels == cls)
+            if idx.size < 6:
+                continue
+            class_features = features[idx]
+            # robust whitening: drop the most extreme samples before estimating covariance
+            distances = mahalanobis_scores(class_features)
+            keep = distances <= np.quantile(distances, 1.0 - self.trim_fraction)
+            if keep.sum() < 4:
+                keep = np.ones(idx.size, dtype=bool)
+            _, mean, whitening = whiten(class_features[keep])
+            whitened = (class_features - mean) @ whitening
+            scores[idx] = spectral_scores(whitened)
+        return scores
+
+
+class FrequencyDefense(DatasetLevelDefense):
+    """Frequency defense (Zeng et al., 2021).
+
+    Backdoor triggers leave high-frequency artefacts; samples are scored by the
+    relative high-frequency energy of their 2-D DFT compared to the median
+    spectrum of their class.
+    """
+
+    name = "frequency"
+
+    def __init__(self, cutoff_fraction: float = 0.5) -> None:
+        self.cutoff_fraction = float(cutoff_fraction)
+
+    def _high_frequency_energy(self, images: np.ndarray) -> np.ndarray:
+        spectrum = np.abs(np.fft.fft2(images, axes=(2, 3)))
+        spectrum = np.fft.fftshift(spectrum, axes=(2, 3))
+        _, _, h, w = images.shape
+        yy, xx = np.meshgrid(np.arange(h) - h / 2, np.arange(w) - w / 2, indexing="ij")
+        radius = np.sqrt(yy**2 + xx**2)
+        cutoff = self.cutoff_fraction * radius.max()
+        high_mask = radius >= cutoff
+        total = spectrum.sum(axis=(1, 2, 3)) + 1e-12
+        high = (spectrum * high_mask[None, None]).sum(axis=(1, 2, 3))
+        return high / total
+
+    def score_training_samples(
+        self, classifier: ImageClassifier, dataset: ImageDataset
+    ) -> np.ndarray:
+        energy = self._high_frequency_energy(dataset.images)
+        scores = np.zeros(len(dataset))
+        for cls in range(dataset.num_classes):
+            idx = np.flatnonzero(dataset.labels == cls)
+            if idx.size == 0:
+                continue
+            median = np.median(energy[idx])
+            scores[idx] = energy[idx] - median
+        return scores
+
+    def score_inputs(self, classifier: ImageClassifier, images: np.ndarray) -> np.ndarray:
+        """Frequency can also be used input-level (no class information needed)."""
+        return self._high_frequency_energy(images)
+
+
+class ConfusionTrainingDefense(DatasetLevelDefense):
+    """Confusion Training (Qi et al., 2023c), scaled-down proactive variant.
+
+    CT trains a "confusion" model on the suspect dataset with deliberately
+    randomised labels mixed in: the shortcut from trigger to target class
+    survives confusion training while the natural class signal is destroyed,
+    so samples the confusion model still predicts as their (possibly poisoned)
+    label with high confidence are flagged.
+    """
+
+    name = "confusion_training"
+
+    def __init__(
+        self,
+        architecture: str = "mlp",
+        confusion_ratio: float = 0.5,
+        epochs: int = 8,
+        rng: SeedLike = None,
+    ) -> None:
+        self.architecture = architecture
+        self.confusion_ratio = float(confusion_ratio)
+        self.epochs = int(epochs)
+        self._rng = new_rng(rng)
+
+    def score_training_samples(
+        self, classifier: ImageClassifier, dataset: ImageDataset
+    ) -> np.ndarray:
+        rng = self._rng
+        labels = dataset.labels.copy()
+        flip = rng.random(len(dataset)) < self.confusion_ratio
+        labels[flip] = rng.integers(0, dataset.num_classes, size=int(flip.sum()))
+        confused = ImageDataset(dataset.images, labels, dataset.num_classes, "confusion")
+        confusion_model = build_classifier(
+            self.architecture,
+            dataset.num_classes,
+            image_size=dataset.image_size,
+            rng=rng,
+            name="confusion-model",
+        )
+        confusion_model.fit(
+            confused,
+            TrainingConfig(epochs=self.epochs, learning_rate=5e-3, batch_size=64),
+            rng=rng,
+        )
+        probabilities = confusion_model.predict_proba(dataset.images)
+        return probabilities[np.arange(len(dataset)), dataset.labels]

@@ -1,0 +1,116 @@
+"""Defense registry mapping paper names to implementations."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.datasets.base import ImageDataset
+from repro.defenses.dataset_level import (
+    ActivationClusteringDefense,
+    ConfusionTrainingDefense,
+    FrequencyDefense,
+    ScanDefense,
+    SpectralSignaturesDefense,
+    SpectreDefense,
+)
+from repro.defenses.input_level import (
+    CognitiveDistillationDefense,
+    ScaleUpDefense,
+    SentiNetDefense,
+    StripDefense,
+    TeCoDefense,
+    TEDDefense,
+)
+from repro.defenses.model_level import MMBDDefense, MNTDDefense
+from repro.utils.rng import SeedLike
+
+#: defenses that score inference inputs (need a clean auxiliary pool)
+INPUT_LEVEL_DEFENSES: Tuple[str, ...] = (
+    "strip",
+    "scale_up",
+    "teco",
+    "sentinet",
+    "ted",
+    "cognitive_distillation",
+)
+
+#: defenses that score training samples of a poisoned training set
+DATASET_LEVEL_DEFENSES: Tuple[str, ...] = (
+    "activation_clustering",
+    "spectral_signatures",
+    "scan",
+    "spectre",
+    "frequency",
+    "confusion_training",
+)
+
+#: defenses that score whole models
+MODEL_LEVEL_DEFENSES: Tuple[str, ...] = ("mmbd", "mntd", "bprom")
+
+_ALIASES = {
+    "ac": "activation_clustering",
+    "ss": "spectral_signatures",
+    "ct": "confusion_training",
+    "cd": "cognitive_distillation",
+    "scaleup": "scale_up",
+    "scale-up": "scale_up",
+    "mm-bd": "mmbd",
+}
+
+
+def canonical_defense_name(name: str) -> str:
+    key = name.strip().lower().replace(" ", "_")
+    return _ALIASES.get(key, key)
+
+
+def available_defenses() -> Tuple[str, ...]:
+    """All registry names (excluding BPROM, which lives in :mod:`repro.core`)."""
+    return tuple(
+        sorted(set(INPUT_LEVEL_DEFENSES) | set(DATASET_LEVEL_DEFENSES) | {"mmbd", "mntd"})
+    )
+
+
+def build_defense(
+    name: str,
+    auxiliary_data: ImageDataset | None = None,
+    rng: SeedLike = None,
+    **kwargs,
+):
+    """Instantiate a defense by name.
+
+    ``auxiliary_data`` is the defender's small clean pool, required by the
+    defenses that blend, paste or compare against clean samples (STRIP,
+    SentiNet, TED).
+    """
+    key = canonical_defense_name(name)
+    if key in ("strip", "sentinet", "ted") and auxiliary_data is None:
+        raise ValueError(f"defense {key!r} requires auxiliary_data (a clean pool)")
+    if key == "strip":
+        return StripDefense(auxiliary_data, rng=rng, **kwargs)
+    if key == "scale_up":
+        return ScaleUpDefense(**kwargs)
+    if key == "teco":
+        return TeCoDefense(rng=rng, **kwargs)
+    if key == "sentinet":
+        return SentiNetDefense(auxiliary_data, rng=rng, **kwargs)
+    if key == "ted":
+        return TEDDefense(auxiliary_data, **kwargs)
+    if key == "cognitive_distillation":
+        return CognitiveDistillationDefense(**kwargs)
+    if key == "activation_clustering":
+        return ActivationClusteringDefense(rng=rng, **kwargs)
+    if key == "spectral_signatures":
+        return SpectralSignaturesDefense(**kwargs)
+    if key == "scan":
+        return ScanDefense(rng=rng, **kwargs)
+    if key == "spectre":
+        return SpectreDefense(**kwargs)
+    if key == "frequency":
+        return FrequencyDefense(**kwargs)
+    if key == "confusion_training":
+        return ConfusionTrainingDefense(rng=rng, **kwargs)
+    if key == "mmbd":
+        return MMBDDefense(**kwargs)
+    if key == "mntd":
+        return MNTDDefense(seed=rng if isinstance(rng, int) else 0, **kwargs)
+    raise KeyError(f"unknown defense {name!r}; available: {available_defenses()}")

@@ -1,0 +1,26 @@
+"""Evaluation harness: suspicious-model zoos, per-table experiments and reports."""
+
+from repro.eval.harness import (
+    ExperimentContext,
+    bprom_detection_auroc,
+    build_suspicious_pool,
+    evaluate_input_level_defense,
+    evaluate_dataset_level_defense,
+    evaluate_model_level_defense,
+    get_context,
+)
+from repro.eval.tables import format_table, merge_rows
+from repro.eval import paper_reference
+
+__all__ = [
+    "ExperimentContext",
+    "get_context",
+    "build_suspicious_pool",
+    "bprom_detection_auroc",
+    "evaluate_input_level_defense",
+    "evaluate_dataset_level_defense",
+    "evaluate_model_level_defense",
+    "format_table",
+    "merge_rows",
+    "paper_reference",
+]

@@ -1,0 +1,42 @@
+"""One module per paper experiment (tables and figures).
+
+Every experiment module exposes one or more ``run_*`` functions taking an
+:class:`~repro.eval.harness.ExperimentContext` (or profile/seed) and returning
+a dictionary with a ``rows`` list (one dict per table row) and a formatted
+``table`` string.  The benchmark harness in ``benchmarks/`` calls these
+functions; EXPERIMENTS.md records the paper-vs-measured comparison.
+"""
+
+from repro.eval.experiments import (
+    ablations,
+    defense_comparison,
+    figure03_subspace,
+    table01_input_level,
+    table02_target_classes,
+    table03_04_prompted_accuracy,
+    table07_shadow_count,
+    table08_09_attack_strength,
+    table10_cross_architecture,
+    table11_low_poison,
+    table12_clean_label,
+    table14_15_accuracy_asr,
+    table22_feature_backdoors,
+    table23_reserved_size,
+)
+
+__all__ = [
+    "ablations",
+    "defense_comparison",
+    "figure03_subspace",
+    "table01_input_level",
+    "table02_target_classes",
+    "table03_04_prompted_accuracy",
+    "table07_shadow_count",
+    "table08_09_attack_strength",
+    "table10_cross_architecture",
+    "table11_low_poison",
+    "table12_clean_label",
+    "table14_15_accuracy_asr",
+    "table22_feature_backdoors",
+    "table23_reserved_size",
+]

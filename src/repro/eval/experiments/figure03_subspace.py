@@ -1,0 +1,113 @@
+"""Figures 3 and 5 — class-subspace-inconsistency visualisations.
+
+Figure 3: 2-D PCA projections of per-class penultimate features of a clean and
+an infected source model (and of prompted target-domain features), showing the
+target class crowding its neighbours in the infected model.
+
+Figure 5: PCA of meta-feature vectors (concatenated query confidence vectors)
+of many clean and backdoored models, showing that prompted clean and prompted
+backdoored models separate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.config import ExperimentProfile
+from repro.core.inconsistency import (
+    class_subspace_projection,
+    meta_feature_projection,
+    subspace_inconsistency_score,
+)
+from repro.eval.harness import get_context
+from repro.eval.tables import format_table
+
+
+def run_figure3(
+    profile: Optional[ExperimentProfile] = None,
+    seed: int = 0,
+    dataset: str = "cifar10",
+    attack: str = "badnets",
+) -> dict:
+    """Clean vs infected source-model feature geometry + inconsistency scores."""
+    context = get_context(profile, seed)
+    _, test = context.datasets(dataset)
+    clean_entry = context.suspicious_model(dataset, None, 0)
+    infected_entry = context.suspicious_model(dataset, attack, 0)
+    clean_projection = class_subspace_projection(clean_entry.classifier, test)
+    infected_projection = class_subspace_projection(infected_entry.classifier, test)
+    target = infected_entry.attack.target_class
+    rows = [
+        {
+            "model": "clean",
+            "mean_inconsistency": subspace_inconsistency_score(clean_entry.classifier, test),
+            "target_class_inconsistency": subspace_inconsistency_score(
+                clean_entry.classifier, test, target_class=target
+            ),
+        },
+        {
+            "model": f"infected ({attack})",
+            "mean_inconsistency": subspace_inconsistency_score(infected_entry.classifier, test),
+            "target_class_inconsistency": subspace_inconsistency_score(
+                infected_entry.classifier, test, target_class=target
+            ),
+        },
+    ]
+    return {
+        "rows": rows,
+        "table": format_table(rows, title="Figure 3 (reproduced, scalar summary)"),
+        "clean_projection": clean_projection,
+        "infected_projection": infected_projection,
+    }
+
+
+def run_figure5(
+    profile: Optional[ExperimentProfile] = None,
+    seed: int = 0,
+    dataset: str = "cifar10",
+    attack: str = "trojan",
+    target_dataset: str = "stl10",
+) -> dict:
+    """PCA of prompted meta-features of clean vs backdoored models + shadow models."""
+    context = get_context(profile, seed)
+    detector = context.detector(dataset, target_dataset)
+    detector_key = f"fig5/{dataset}/{target_dataset}"
+    query = detector.meta_classifier.query_pool.sample(
+        detector.meta_classifier.query_samples, rng=seed
+    )
+    prompted = list(detector.prompted_shadows)
+    labels = [int(s.is_backdoored) for s in detector.shadow_models]
+    for index in range(context.profile.clean_suspicious_models):
+        entry = context.suspicious_model(dataset, None, index)
+        prompted.append(context.prompted_suspicious(detector, entry, detector_key))
+        labels.append(0)
+    for index in range(context.profile.backdoor_suspicious_models):
+        entry = context.suspicious_model(dataset, attack, index)
+        prompted.append(context.prompted_suspicious(detector, entry, detector_key))
+        labels.append(1)
+    projection = meta_feature_projection(prompted, labels, query.images)
+    separation = _cluster_separation(projection["projection"], projection["labels"])
+    rows = [{"attack": attack, "num_models": len(labels), "cluster_separation": separation}]
+    return {
+        "rows": rows,
+        "table": format_table(rows, title="Figure 5 (reproduced, scalar summary)"),
+        "projection": projection,
+    }
+
+
+def _cluster_separation(points: np.ndarray, labels: np.ndarray) -> float:
+    """Distance between class centroids divided by mean within-class spread."""
+    clean = points[labels == 0]
+    backdoored = points[labels == 1]
+    if len(clean) == 0 or len(backdoored) == 0:
+        return float("nan")
+    centroid_distance = float(np.linalg.norm(clean.mean(axis=0) - backdoored.mean(axis=0)))
+    spread = float(
+        np.mean(
+            [np.linalg.norm(group - group.mean(axis=0), axis=1).mean()
+             for group in (clean, backdoored) if len(group) > 1]
+        )
+    )
+    return centroid_distance / max(spread, 1e-9)

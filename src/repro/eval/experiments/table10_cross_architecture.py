@@ -1,0 +1,31 @@
+"""Table 10 — shadow/suspicious architecture mismatch (ResNet shadows, MobileNet suspects)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.config import ExperimentProfile
+from repro.eval.harness import bprom_detection_auroc, get_context
+from repro.eval.tables import format_table
+
+
+def run(
+    profile: Optional[ExperimentProfile] = None,
+    seed: int = 0,
+    dataset: str = "cifar10",
+    attacks: Sequence[str] = ("wanet", "adaptive_blend", "adaptive_patch"),
+    shadow_architecture: str = "resnet18",
+    suspicious_architecture: str = "mobilenetv2",
+) -> dict:
+    context = get_context(profile, seed)
+    rows = []
+    for attack in attacks:
+        metrics = bprom_detection_auroc(
+            context,
+            dataset,
+            attack,
+            architecture=shadow_architecture,
+            suspicious_architecture=suspicious_architecture,
+        )
+        rows.append({"attack": attack, "auroc": metrics["auroc"], "f1": metrics["f1"]})
+    return {"rows": rows, "table": format_table(rows, title="Table 10 (reproduced)")}

@@ -1,0 +1,33 @@
+"""Table 11 — adaptive attack via very low poison rates (BadNets on CIFAR-10)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.config import ExperimentProfile
+from repro.eval.harness import bprom_detection_auroc, get_context
+from repro.eval.tables import format_table
+
+
+def run(
+    profile: Optional[ExperimentProfile] = None,
+    seed: int = 0,
+    dataset: str = "cifar10",
+    attack: str = "badnets",
+    poison_rates: Sequence[float] = (0.02, 0.05, 0.10, 0.20),
+) -> dict:
+    """The paper sweeps 0.2%-10%; the scaled-down datasets bottom out at ~2%
+    (one poisoned sample), so the sweep starts there."""
+    context = get_context(profile, seed)
+    rows = []
+    for rate in poison_rates:
+        metrics = bprom_detection_auroc(context, dataset, attack, poison_rate=rate)
+        rows.append(
+            {
+                "poison_rate": rate,
+                "asr": metrics["mean_asr"],
+                "auroc": metrics["auroc"],
+                "f1": metrics["f1"],
+            }
+        )
+    return {"rows": rows, "table": format_table(rows, title="Table 11 (reproduced)")}

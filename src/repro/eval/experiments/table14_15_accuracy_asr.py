@@ -1,0 +1,34 @@
+"""Tables 14/15 — clean accuracy and attack success rate of the infected models."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.config import ExperimentProfile
+from repro.eval.harness import get_context
+from repro.eval.tables import format_table
+
+
+def run(
+    profile: Optional[ExperimentProfile] = None,
+    seed: int = 0,
+    datasets: Sequence[str] = ("cifar10", "gtsrb"),
+    architectures: Sequence[str] = ("resnet18", "mobilenetv2"),
+    attacks: Sequence[str] = ("badnets", "blend", "wanet", "adaptive_blend"),
+) -> dict:
+    context = get_context(profile, seed)
+    rows = []
+    for architecture in architectures:
+        for dataset in datasets:
+            clean_entry = context.suspicious_model(dataset, None, 0, architecture)
+            row = {
+                "architecture": architecture,
+                "dataset": dataset,
+                "clean_model_accuracy": clean_entry.clean_accuracy,
+            }
+            for attack in attacks:
+                entry = context.suspicious_model(dataset, attack, 0, architecture)
+                row[f"{attack}_acc"] = entry.clean_accuracy
+                row[f"{attack}_asr"] = entry.attack_success_rate
+            rows.append(row)
+    return {"rows": rows, "table": format_table(rows, title="Tables 14/15 (reproduced)")}

@@ -1,0 +1,25 @@
+"""Table 22 — feature-based backdoors: Refool, BPP and Poison Ink."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.config import ExperimentProfile
+from repro.eval.harness import bprom_detection_auroc, get_context
+from repro.eval.tables import format_table
+
+
+def run(
+    profile: Optional[ExperimentProfile] = None,
+    seed: int = 0,
+    dataset: str = "cifar10",
+    attacks: Sequence[str] = ("refool", "bpp", "poison_ink"),
+) -> dict:
+    context = get_context(profile, seed)
+    rows = []
+    for attack in attacks:
+        metrics = bprom_detection_auroc(context, dataset, attack)
+        rows.append(
+            {"attack": attack, "dataset": dataset, "f1": metrics["f1"], "auroc": metrics["auroc"]}
+        )
+    return {"rows": rows, "table": format_table(rows, title="Table 22 (reproduced)")}

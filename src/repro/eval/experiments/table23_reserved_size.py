@@ -1,0 +1,32 @@
+"""Table 23 — impact of the reserved clean dataset size ``D_S`` (1% / 5% / 10%)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.config import ExperimentProfile
+from repro.eval.harness import bprom_detection_auroc, get_context
+from repro.eval.tables import format_table
+
+
+def run(
+    profile: Optional[ExperimentProfile] = None,
+    seed: int = 0,
+    dataset: str = "cifar10",
+    attack: str = "badnets",
+    fractions: Sequence[float] = (0.01, 0.05, 0.10),
+) -> dict:
+    context = get_context(profile, seed)
+    rows = []
+    for fraction in fractions:
+        metrics = bprom_detection_auroc(
+            context, dataset, attack, reserved_fraction=fraction
+        )
+        rows.append(
+            {
+                "reserved_fraction": fraction,
+                "auroc": metrics["auroc"],
+                "f1": metrics["f1"],
+            }
+        )
+    return {"rows": rows, "table": format_table(rows, title="Table 23 (reproduced)")}

@@ -1,0 +1,122 @@
+"""Numbers reported in the paper, used for paper-vs-measured comparisons.
+
+Only the headline values needed by EXPERIMENTS.md and the benchmark reports
+are transcribed here; consult the paper for the full tables.  All values are
+AUROC unless stated otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Table 1 — input-level detectors on backdoored vs clean models (AUROC)
+TABLE1_INPUT_LEVEL: Dict[str, Dict[str, float]] = {
+    "teco": {"badnets_backdoored": 0.8113, "badnets_clean": 0.4509,
+             "blend_backdoored": 0.7259, "blend_clean": 0.3954,
+             "wanet_backdoored": 0.9345, "wanet_clean": 0.4406},
+    "scale_up": {"badnets_backdoored": 0.7877, "badnets_clean": 0.5103,
+                 "blend_backdoored": 0.7694, "blend_clean": 0.4643,
+                 "wanet_backdoored": 0.7772, "wanet_clean": 0.4246},
+}
+
+#: Table 2 — prompted-model accuracy vs. number of target classes
+TABLE2_TARGET_CLASSES: Dict[str, Dict[int, float]] = {
+    "cifar10": {1: 0.3286, 2: 0.2427, 3: 0.2338},
+    "gtsrb": {1: 0.2711, 2: 0.1988, 3: 0.1986},
+}
+
+#: Table 3 — prompted accuracy vs. trigger size (Blend on CIFAR-10 / GTSRB)
+TABLE3_TRIGGER_SIZE: Dict[str, Dict[int, float]] = {
+    "cifar10_blend": {4: 0.3830, 8: 0.3517, 16: 0.3172},
+    "gtsrb_blend": {4: 0.1783, 8: 0.1641, 16: 0.1571},
+}
+
+#: Table 4 — prompted accuracy vs. poison rate (Blend on CIFAR-10 / GTSRB)
+TABLE4_POISON_RATE: Dict[str, Dict[float, float]] = {
+    "cifar10_blend": {0.05: 0.5297, 0.10: 0.4772, 0.20: 0.3985},
+    "gtsrb_blend": {0.05: 0.2488, 0.10: 0.2328, 0.20: 0.2222},
+}
+
+#: Table 5 — average AUROC per defense (CIFAR-10 row / GTSRB row)
+TABLE5_AVERAGE_AUROC: Dict[str, Dict[str, float]] = {
+    "strip": {"cifar10": 0.694, "gtsrb": 0.733},
+    "activation_clustering": {"cifar10": 0.863, "gtsrb": 0.524},
+    "frequency": {"cifar10": 0.963, "gtsrb": 0.950},
+    "sentinet": {"cifar10": 0.716, "gtsrb": 0.776},
+    "confusion_training": {"cifar10": 0.840, "gtsrb": 0.844},
+    "spectral_signatures": {"cifar10": 0.747, "gtsrb": 0.692},
+    "scan": {"cifar10": 0.822, "gtsrb": 0.829},
+    "spectre": {"cifar10": 0.679, "gtsrb": 0.640},
+    "mmbd": {"cifar10": 0.838, "gtsrb": 0.667},
+    "ted": {"cifar10": 0.543, "gtsrb": 0.718},
+    "bprom": {"cifar10": 1.000, "gtsrb": 0.983},
+}
+
+#: Table 6 — Tiny-ImageNet average AUROC (ResNet18)
+TABLE6_TINY_IMAGENET_AVG: Dict[str, float] = {
+    "strip": 0.732,
+    "activation_clustering": 0.489,
+    "spectral_signatures": 0.495,
+    "scan": 0.786,
+    "confusion_training": 0.760,
+    "scale_up": 0.729,
+    "cognitive_distillation": 0.754,
+    "mmbd": 0.715,
+    "bprom": 0.979,
+}
+
+#: Table 7 — AUROC vs. number of shadow models (CIFAR-10, Blend)
+TABLE7_SHADOW_COUNT: Dict[int, float] = {2: 0.667, 10: 0.874, 20: 1.000, 40: 1.000}
+
+#: Table 8 — ASR / AUROC vs trigger size (CIFAR-10, Blend)
+TABLE8_TRIGGER_SIZE: Dict[int, Dict[str, float]] = {
+    4: {"asr": 0.269, "auroc": 1.000},
+    8: {"asr": 0.974, "auroc": 1.000},
+    16: {"asr": 0.994, "auroc": 1.000},
+}
+
+#: Table 9 — ASR / AUROC vs poison rate (CIFAR-10, Blend)
+TABLE9_POISON_RATE: Dict[float, Dict[str, float]] = {
+    0.05: {"asr": 0.996, "auroc": 0.607},
+    0.10: {"asr": 0.990, "auroc": 0.933},
+    0.20: {"asr": 0.998, "auroc": 1.000},
+}
+
+#: Table 10 — cross-architecture detection (MobileNetV2 suspicious, ResNet18 shadows)
+TABLE10_CROSS_ARCHITECTURE: Dict[str, float] = {
+    "wanet": 1.000,
+    "adaptive_blend": 1.000,
+    "adaptive_patch": 1.000,
+}
+
+#: Table 11 — AUROC at very low BadNets poison rates (CIFAR-10)
+TABLE11_LOW_POISON: Dict[float, float] = {
+    0.002: 1.0, 0.005: 1.0, 0.01: 1.0, 0.02: 1.0, 0.05: 1.0, 0.10: 1.0,
+}
+
+#: Table 12 — clean-label adaptive attacks (AUROC)
+TABLE12_CLEAN_LABEL: Dict[str, Dict[str, float]] = {
+    "cifar10": {"sig": 1.00, "label_consistent": 0.95},
+    "gtsrb": {"sig": 0.83, "label_consistent": 0.78},
+}
+
+#: Tables 14/15 — clean accuracy / ASR of infected models (representative values)
+TABLE14_RESNET_CIFAR10 = {"accuracy": 0.936, "asr": 1.000}
+TABLE15_MOBILENET_CIFAR10 = {"accuracy": 0.905, "asr": 1.000}
+
+#: Table 23 — AUROC for different reserved dataset sizes (all 1.0 in the paper)
+TABLE23_RESERVED_SIZE: Dict[float, float] = {0.01: 1.0, 0.05: 1.0, 0.10: 1.0}
+
+#: Table 26 — ImageNet average AUROC
+TABLE26_IMAGENET_AVG: Dict[str, float] = {
+    "cognitive_distillation": 0.7467,
+    "scale_up": 0.5944,
+    "strip": 0.2936,
+    "bprom": 0.9570,
+}
+
+#: BPROM training time in hours (paper, ResNet18 / MobileNetV2 by shadow count)
+TRAINING_TIME_HOURS = {
+    "resnet18": {10: 2.3, 20: 4.8, 40: 9.5},
+    "mobilenetv2": {10: 1.2, 20: 2.4, 40: 5.2},
+}

@@ -1,0 +1,60 @@
+"""Plain-text table formatting for experiment results and paper comparisons."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of row dictionaries as an aligned plain-text table."""
+    if not rows:
+        return f"{title or 'table'}: (no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = [str(c) for c in columns]
+    body = [[_format_value(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body)) for i in range(len(header))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for line in body:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def merge_rows(*row_groups: Iterable[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Concatenate several iterables of rows into one list."""
+    merged: List[Dict[str, object]] = []
+    for group in row_groups:
+        merged.extend(group)
+    return merged
+
+
+def compare_with_paper(
+    measured: Mapping[str, float], paper: Mapping[str, float], label: str = ""
+) -> List[Dict[str, object]]:
+    """Produce rows pairing measured values with the paper's reported values."""
+    rows = []
+    for key in measured:
+        rows.append(
+            {
+                "setting": f"{label}{key}" if label else key,
+                "measured": measured[key],
+                "paper": paper.get(key, float("nan")),
+            }
+        )
+    return rows

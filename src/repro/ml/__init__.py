@@ -1,0 +1,37 @@
+"""Classic machine-learning components implemented from scratch on numpy.
+
+These replace the scikit-learn / CMA-ES dependencies of the original paper:
+the random-forest meta-classifier, the clustering and robust statistics used by
+the baseline defenses, and the gradient-free optimisers used for black-box
+visual prompting.
+"""
+
+from repro.ml.cma_es import CMAES, RandomSearch, SPSA
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.kmeans import KMeans
+from repro.ml.logistic import LogisticRegression
+from repro.ml.metrics import (
+    auroc,
+    confusion_counts,
+    f1_score,
+    precision_recall,
+    roc_curve,
+)
+from repro.ml.pca import PCA
+from repro.ml.tree import DecisionTreeClassifier
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "LogisticRegression",
+    "KMeans",
+    "PCA",
+    "CMAES",
+    "SPSA",
+    "RandomSearch",
+    "auroc",
+    "f1_score",
+    "precision_recall",
+    "roc_curve",
+    "confusion_counts",
+]

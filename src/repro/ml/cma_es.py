@@ -1,0 +1,214 @@
+"""Gradient-free optimisers for black-box visual prompting.
+
+The paper learns the visual prompt of the *suspicious* model with a
+gradient-free method (it names CMA-ES) because the defender only has query
+access.  This module provides three interchangeable minimisers:
+
+* :class:`CMAES` — a compact covariance-matrix-adaptation evolution strategy
+  (diagonal + rank-one update variant, adequate for the small prompt
+  dimensionalities used here).
+* :class:`SPSA` — simultaneous-perturbation stochastic approximation.
+* :class:`RandomSearch` — Gaussian random search baseline for ablations.
+
+All three expose ``minimize(objective, x0) -> OptimizationResult`` where
+``objective`` maps a parameter vector to a scalar loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, new_rng
+
+Objective = Callable[[np.ndarray], float]
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of a gradient-free optimisation run."""
+
+    best_x: np.ndarray
+    best_value: float
+    history: List[float] = field(default_factory=list)
+    evaluations: int = 0
+
+
+class CMAES:
+    """A compact (mu/mu_w, lambda) CMA-ES with diagonal covariance adaptation.
+
+    This follows the standard CMA-ES recipe (weighted recombination,
+    cumulative step-size adaptation) but adapts only the diagonal of the
+    covariance matrix plus a rank-one term, which keeps the per-iteration cost
+    linear in the dimension — important because the visual prompt can have a
+    few hundred parameters.
+    """
+
+    def __init__(
+        self,
+        iterations: int = 50,
+        population: int | None = None,
+        sigma: float = 0.3,
+        rng: SeedLike = None,
+    ) -> None:
+        if iterations <= 0:
+            raise ValueError("iterations must be positive")
+        self.iterations = int(iterations)
+        self.population = population
+        self.initial_sigma = float(sigma)
+        self._rng = new_rng(rng)
+
+    def minimize(self, objective: Objective, x0: np.ndarray) -> OptimizationResult:
+        x0 = np.asarray(x0, dtype=np.float64).ravel()
+        dim = x0.size
+        lam = self.population or min(4 + int(3 * np.log(dim + 1)), 16)
+        lam = max(int(lam), 4)
+        mu = lam // 2
+        weights = np.log(mu + 0.5) - np.log(np.arange(1, mu + 1))
+        weights = weights / weights.sum()
+        mu_eff = 1.0 / np.sum(weights**2)
+
+        mean = x0.copy()
+        sigma = self.initial_sigma
+        diag_cov = np.ones(dim)
+        path_sigma = np.zeros(dim)
+        path_cov = np.zeros(dim)
+        c_sigma = (mu_eff + 2) / (dim + mu_eff + 5)
+        d_sigma = 1 + 2 * max(0.0, np.sqrt((mu_eff - 1) / (dim + 1)) - 1) + c_sigma
+        c_cov = (4 + mu_eff / dim) / (dim + 4 + 2 * mu_eff / dim)
+        c_1 = 2 / ((dim + 1.3) ** 2 + mu_eff)
+        c_mu = min(1 - c_1, 2 * (mu_eff - 2 + 1 / mu_eff) / ((dim + 2) ** 2 + mu_eff))
+        chi_n = np.sqrt(dim) * (1 - 1 / (4 * dim) + 1 / (21 * dim**2))
+
+        best_x = x0.copy()
+        best_value = float(objective(x0))
+        history = [best_value]
+        evaluations = 1
+
+        for _ in range(self.iterations):
+            std = np.sqrt(np.maximum(diag_cov, 1e-12))
+            noise = self._rng.normal(size=(lam, dim))
+            candidates = mean + sigma * noise * std
+            values = np.array([float(objective(c)) for c in candidates])
+            evaluations += lam
+            order = np.argsort(values)
+            if values[order[0]] < best_value:
+                best_value = float(values[order[0]])
+                best_x = candidates[order[0]].copy()
+            history.append(best_value)
+
+            selected = candidates[order[:mu]]
+            selected_noise = noise[order[:mu]]
+            old_mean = mean
+            mean = weights @ selected
+            # step-size path (in the isotropic coordinate system)
+            z_mean = weights @ selected_noise
+            path_sigma = (1 - c_sigma) * path_sigma + np.sqrt(
+                c_sigma * (2 - c_sigma) * mu_eff
+            ) * z_mean
+            sigma = sigma * np.exp(
+                (c_sigma / d_sigma) * (np.linalg.norm(path_sigma) / chi_n - 1)
+            )
+            sigma = float(np.clip(sigma, 1e-8, 1e3))
+            # covariance path and diagonal update
+            y_mean = (mean - old_mean) / max(sigma, 1e-12)
+            path_cov = (1 - c_cov) * path_cov + np.sqrt(
+                c_cov * (2 - c_cov) * mu_eff
+            ) * y_mean / np.maximum(std, 1e-12)
+            rank_mu = np.sum(weights[:, None] * (selected_noise**2), axis=0)
+            diag_cov = (
+                (1 - c_1 - c_mu) * diag_cov
+                + c_1 * (path_cov**2) * diag_cov
+                + c_mu * rank_mu * diag_cov
+            )
+            diag_cov = np.clip(diag_cov, 1e-8, 1e8)
+
+        return OptimizationResult(best_x, best_value, history, evaluations)
+
+
+class SPSA:
+    """Simultaneous-perturbation stochastic approximation minimiser."""
+
+    def __init__(
+        self,
+        iterations: int = 100,
+        learning_rate: float = 0.1,
+        perturbation: float = 0.05,
+        rng: SeedLike = None,
+    ) -> None:
+        if iterations <= 0:
+            raise ValueError("iterations must be positive")
+        self.iterations = int(iterations)
+        self.learning_rate = float(learning_rate)
+        self.perturbation = float(perturbation)
+        self._rng = new_rng(rng)
+
+    def minimize(self, objective: Objective, x0: np.ndarray) -> OptimizationResult:
+        x = np.asarray(x0, dtype=np.float64).ravel().copy()
+        best_x = x.copy()
+        best_value = float(objective(x))
+        history = [best_value]
+        evaluations = 1
+        for k in range(1, self.iterations + 1):
+            a_k = self.learning_rate / (k**0.602)
+            c_k = self.perturbation / (k**0.101)
+            delta = self._rng.choice([-1.0, 1.0], size=x.size)
+            plus = float(objective(x + c_k * delta))
+            minus = float(objective(x - c_k * delta))
+            evaluations += 2
+            gradient = (plus - minus) / (2 * c_k) * delta
+            x = x - a_k * gradient
+            value = min(plus, minus)
+            if value < best_value:
+                best_value = value
+                best_x = x.copy()
+            history.append(best_value)
+        final = float(objective(x))
+        evaluations += 1
+        if final < best_value:
+            best_value, best_x = final, x.copy()
+        return OptimizationResult(best_x, best_value, history, evaluations)
+
+
+class RandomSearch:
+    """Gaussian random search around the best point so far (ablation baseline)."""
+
+    def __init__(
+        self, iterations: int = 100, sigma: float = 0.3, rng: SeedLike = None
+    ) -> None:
+        if iterations <= 0:
+            raise ValueError("iterations must be positive")
+        self.iterations = int(iterations)
+        self.sigma = float(sigma)
+        self._rng = new_rng(rng)
+
+    def minimize(self, objective: Objective, x0: np.ndarray) -> OptimizationResult:
+        best_x = np.asarray(x0, dtype=np.float64).ravel().copy()
+        best_value = float(objective(best_x))
+        history = [best_value]
+        evaluations = 1
+        for _ in range(self.iterations):
+            candidate = best_x + self._rng.normal(0.0, self.sigma, size=best_x.size)
+            value = float(objective(candidate))
+            evaluations += 1
+            if value < best_value:
+                best_value = value
+                best_x = candidate
+            history.append(best_value)
+        return OptimizationResult(best_x, best_value, history, evaluations)
+
+
+def build_blackbox_optimizer(
+    name: str, iterations: int, population: int | None = None, rng: SeedLike = None
+):
+    """Factory used by the prompting stage (``"cma-es" | "spsa" | "random"``)."""
+    key = name.lower().replace("_", "-")
+    if key in ("cma-es", "cmaes", "cma"):
+        return CMAES(iterations=iterations, population=population, rng=rng)
+    if key == "spsa":
+        return SPSA(iterations=iterations, rng=rng)
+    if key in ("random", "random-search"):
+        return RandomSearch(iterations=iterations, rng=rng)
+    raise ValueError(f"unknown black-box optimizer {name!r}")

@@ -1,0 +1,88 @@
+"""Random forest classifier — the paper's meta-classifier for BPROM."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.ml.tree import DecisionTreeClassifier
+from repro.utils.rng import SeedLike, new_rng
+
+
+class RandomForestClassifier:
+    """Bagged ensemble of :class:`DecisionTreeClassifier` with feature subsampling.
+
+    The paper trains a random forest with 10,000 trees on the concatenated
+    confidence vectors of the prompted shadow models; the tree count here is a
+    constructor argument so the benchmark profiles can scale it down.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        max_depth: Optional[int] = None,
+        max_features: Optional[int | str] = "sqrt",
+        min_samples_split: int = 2,
+        bootstrap: bool = True,
+        rng: SeedLike = None,
+    ) -> None:
+        if n_estimators <= 0:
+            raise ValueError(f"n_estimators must be positive, got {n_estimators}")
+        self.n_estimators = int(n_estimators)
+        self.max_depth = max_depth
+        self.max_features = max_features
+        self.min_samples_split = int(min_samples_split)
+        self.bootstrap = bool(bootstrap)
+        self._rng = new_rng(rng)
+        self.trees_: List[DecisionTreeClassifier] = []
+        self.num_classes_: int = 0
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "RandomForestClassifier":
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if features.ndim != 2:
+            raise ValueError(f"features must be 2-D, got shape {features.shape}")
+        if features.shape[0] != labels.shape[0]:
+            raise ValueError("features and labels disagree on sample count")
+        self.num_classes_ = int(labels.max()) + 1
+        self.trees_ = []
+        n = features.shape[0]
+        for _ in range(self.n_estimators):
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                max_features=self.max_features,
+                rng=self._rng,
+            )
+            if self.bootstrap:
+                indices = self._rng.integers(0, n, size=n)
+            else:
+                indices = np.arange(n)
+            tree.fit(features[indices], labels[indices])
+            # a bootstrap sample may omit a class entirely; remember the global count
+            tree.num_classes_ = max(tree.num_classes_, self.num_classes_)
+            self.trees_.append(tree)
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if not self.trees_:
+            raise RuntimeError("forest has not been fitted")
+        features = np.asarray(features, dtype=np.float64)
+        votes = np.zeros((features.shape[0], self.num_classes_), dtype=np.float64)
+        for tree in self.trees_:
+            proba = tree.predict_proba(features)
+            if proba.shape[1] < self.num_classes_:
+                padded = np.zeros((proba.shape[0], self.num_classes_))
+                padded[:, : proba.shape[1]] = proba
+                proba = padded
+            votes += proba
+        return votes / len(self.trees_)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return np.argmax(self.predict_proba(features), axis=1)
+
+    def score(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Mean accuracy on the given data."""
+        labels = np.asarray(labels, dtype=np.int64)
+        return float(np.mean(self.predict(features) == labels))

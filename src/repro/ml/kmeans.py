@@ -1,0 +1,84 @@
+"""K-means clustering (used by the Activation Clustering defense)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, new_rng
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ initialisation."""
+
+    def __init__(
+        self,
+        n_clusters: int = 2,
+        max_iterations: int = 100,
+        tolerance: float = 1e-6,
+        rng: SeedLike = None,
+    ) -> None:
+        if n_clusters <= 0:
+            raise ValueError("n_clusters must be positive")
+        self.n_clusters = int(n_clusters)
+        self.max_iterations = int(max_iterations)
+        self.tolerance = float(tolerance)
+        self._rng = new_rng(rng)
+        self.centroids_: np.ndarray | None = None
+        self.labels_: np.ndarray | None = None
+        self.inertia_: float = float("inf")
+
+    def _init_centroids(self, data: np.ndarray) -> np.ndarray:
+        n = data.shape[0]
+        centroids = [data[self._rng.integers(0, n)]]
+        for _ in range(1, self.n_clusters):
+            distances = np.min(
+                np.stack([np.sum((data - c) ** 2, axis=1) for c in centroids]), axis=0
+            )
+            total = distances.sum()
+            if total <= 0:
+                centroids.append(data[self._rng.integers(0, n)])
+                continue
+            probabilities = distances / total
+            centroids.append(data[self._rng.choice(n, p=probabilities)])
+        return np.stack(centroids)
+
+    def fit(self, data: np.ndarray) -> "KMeans":
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError(f"data must be 2-D, got shape {data.shape}")
+        if data.shape[0] < self.n_clusters:
+            raise ValueError(
+                f"need at least n_clusters={self.n_clusters} samples, got {data.shape[0]}"
+            )
+        centroids = self._init_centroids(data)
+        for _ in range(self.max_iterations):
+            distances = np.stack(
+                [np.sum((data - c) ** 2, axis=1) for c in centroids], axis=1
+            )
+            labels = np.argmin(distances, axis=1)
+            new_centroids = centroids.copy()
+            for cluster in range(self.n_clusters):
+                members = data[labels == cluster]
+                if members.shape[0]:
+                    new_centroids[cluster] = members.mean(axis=0)
+            shift = float(np.max(np.abs(new_centroids - centroids)))
+            centroids = new_centroids
+            if shift < self.tolerance:
+                break
+        distances = np.stack([np.sum((data - c) ** 2, axis=1) for c in centroids], axis=1)
+        self.labels_ = np.argmin(distances, axis=1)
+        self.inertia_ = float(np.sum(np.min(distances, axis=1)))
+        self.centroids_ = centroids
+        return self
+
+    def predict(self, data: np.ndarray) -> np.ndarray:
+        if self.centroids_ is None:
+            raise RuntimeError("KMeans has not been fitted")
+        data = np.asarray(data, dtype=np.float64)
+        distances = np.stack(
+            [np.sum((data - c) ** 2, axis=1) for c in self.centroids_], axis=1
+        )
+        return np.argmin(distances, axis=1)
+
+    def fit_predict(self, data: np.ndarray) -> np.ndarray:
+        return self.fit(data).labels_

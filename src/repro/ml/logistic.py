@@ -1,0 +1,74 @@
+"""Binary logistic regression (used as an ablation meta-classifier and by defenses)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import sigmoid
+from repro.utils.rng import SeedLike, new_rng
+
+
+class LogisticRegression:
+    """L2-regularised binary logistic regression trained with full-batch gradient descent."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.1,
+        iterations: int = 500,
+        l2: float = 1e-3,
+        rng: SeedLike = None,
+    ) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if iterations <= 0:
+            raise ValueError("iterations must be positive")
+        self.learning_rate = float(learning_rate)
+        self.iterations = int(iterations)
+        self.l2 = float(l2)
+        self._rng = new_rng(rng)
+        self.weights_: np.ndarray | None = None
+        self.bias_: float = 0.0
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LogisticRegression":
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.float64).ravel()
+        if features.ndim != 2:
+            raise ValueError(f"features must be 2-D, got shape {features.shape}")
+        if not np.all(np.isin(labels, (0.0, 1.0))):
+            raise ValueError("labels must be binary")
+        # standardise for conditioning
+        self._mean = features.mean(axis=0)
+        self._std = features.std(axis=0) + 1e-8
+        x = (features - self._mean) / self._std
+        n, d = x.shape
+        self.weights_ = self._rng.normal(0.0, 0.01, size=d)
+        self.bias_ = 0.0
+        for _ in range(self.iterations):
+            logits = x @ self.weights_ + self.bias_
+            probs = sigmoid(logits)
+            error = probs - labels
+            grad_w = x.T @ error / n + self.l2 * self.weights_
+            grad_b = float(error.mean())
+            self.weights_ -= self.learning_rate * grad_w
+            self.bias_ -= self.learning_rate * grad_b
+        return self
+
+    def _check_fitted(self) -> None:
+        if self.weights_ is None:
+            raise RuntimeError("model has not been fitted")
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Probability of the positive class for each row."""
+        self._check_fitted()
+        features = np.asarray(features, dtype=np.float64)
+        x = (features - self._mean) / self._std
+        return sigmoid(x @ self.weights_ + self.bias_)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(features) >= 0.5).astype(np.int64)
+
+    def score(self, features: np.ndarray, labels: np.ndarray) -> float:
+        labels = np.asarray(labels, dtype=np.int64).ravel()
+        return float(np.mean(self.predict(features) == labels))

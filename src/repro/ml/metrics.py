@@ -1,0 +1,118 @@
+"""Detection metrics: AUROC, F1, precision/recall and ROC curves.
+
+The paper reports AUROC and F1 for every defense; these implementations follow
+the standard definitions (AUROC via the rank statistic, F1 at a 0.5 score
+threshold unless stated otherwise).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def _validate(scores: np.ndarray, labels: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    labels = np.asarray(labels).ravel().astype(np.int64)
+    if scores.shape[0] != labels.shape[0]:
+        raise ValueError(
+            f"scores ({scores.shape[0]}) and labels ({labels.shape[0]}) disagree on size"
+        )
+    if scores.size == 0:
+        raise ValueError("cannot compute metrics on empty inputs")
+    if not np.all(np.isin(labels, (0, 1))):
+        raise ValueError("labels must be binary (0 = negative, 1 = positive)")
+    return scores, labels
+
+
+def auroc(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Area under the ROC curve via the Mann-Whitney U statistic.
+
+    Ties receive half credit.  Returns 0.5 when either class is absent (the
+    convention used when a defense is evaluated on a degenerate split).
+    """
+    scores, labels = _validate(scores, labels)
+    positives = scores[labels == 1]
+    negatives = scores[labels == 0]
+    if positives.size == 0 or negatives.size == 0:
+        return 0.5
+    # rank-based computation handles ties exactly
+    order = np.argsort(np.concatenate([positives, negatives]), kind="mergesort")
+    ranks = np.empty(order.size, dtype=np.float64)
+    sorted_scores = np.concatenate([positives, negatives])[order]
+    ranks[order] = np.arange(1, order.size + 1)
+    # average ranks over ties
+    unique, inverse, counts = np.unique(sorted_scores, return_inverse=True, return_counts=True)
+    cumulative = np.cumsum(counts)
+    average_rank = cumulative - (counts - 1) / 2.0
+    tied_ranks = average_rank[inverse]
+    ranks[order] = tied_ranks
+    rank_sum_positive = float(np.sum(ranks[: positives.size]))
+    u_statistic = rank_sum_positive - positives.size * (positives.size + 1) / 2.0
+    return float(u_statistic / (positives.size * negatives.size))
+
+
+def roc_curve(scores: np.ndarray, labels: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Return ``(false_positive_rates, true_positive_rates, thresholds)``."""
+    scores, labels = _validate(scores, labels)
+    order = np.argsort(-scores, kind="mergesort")
+    scores_sorted = scores[order]
+    labels_sorted = labels[order]
+    distinct = np.flatnonzero(np.diff(scores_sorted)) if scores_sorted.size > 1 else np.array([], dtype=int)
+    threshold_idx = np.concatenate([distinct, [scores_sorted.size - 1]])
+    tps = np.cumsum(labels_sorted)[threshold_idx]
+    fps = (threshold_idx + 1) - tps
+    total_pos = max(int(labels.sum()), 1)
+    total_neg = max(int((1 - labels).sum()), 1)
+    tpr = np.concatenate([[0.0], tps / total_pos])
+    fpr = np.concatenate([[0.0], fps / total_neg])
+    thresholds = np.concatenate([[np.inf], scores_sorted[threshold_idx]])
+    return fpr, tpr, thresholds
+
+
+def confusion_counts(
+    predictions: np.ndarray, labels: np.ndarray
+) -> Tuple[int, int, int, int]:
+    """Return ``(true_positive, false_positive, true_negative, false_negative)``."""
+    predictions = np.asarray(predictions).astype(np.int64).ravel()
+    labels = np.asarray(labels).astype(np.int64).ravel()
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must have the same shape")
+    tp = int(np.sum((predictions == 1) & (labels == 1)))
+    fp = int(np.sum((predictions == 1) & (labels == 0)))
+    tn = int(np.sum((predictions == 0) & (labels == 0)))
+    fn = int(np.sum((predictions == 0) & (labels == 1)))
+    return tp, fp, tn, fn
+
+
+def precision_recall(predictions: np.ndarray, labels: np.ndarray) -> Tuple[float, float]:
+    """Precision and recall of binary predictions."""
+    tp, fp, _, fn = confusion_counts(predictions, labels)
+    precision = tp / (tp + fp) if (tp + fp) else 0.0
+    recall = tp / (tp + fn) if (tp + fn) else 0.0
+    return float(precision), float(recall)
+
+
+def f1_score(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """F1 score of binary predictions (0.0 when precision + recall is zero)."""
+    precision, recall = precision_recall(predictions, labels)
+    if precision + recall == 0.0:
+        return 0.0
+    return float(2.0 * precision * recall / (precision + recall))
+
+
+def f1_from_scores(scores: np.ndarray, labels: np.ndarray, threshold: float = 0.5) -> float:
+    """F1 score obtained by thresholding continuous scores at ``threshold``."""
+    scores, labels = _validate(scores, labels)
+    return f1_score((scores >= threshold).astype(np.int64), labels)
+
+
+def best_f1_from_scores(scores: np.ndarray, labels: np.ndarray) -> float:
+    """F1 at the best threshold — used for defenses that tune their own cut-off."""
+    scores, labels = _validate(scores, labels)
+    candidates = np.unique(scores)
+    best = 0.0
+    for threshold in candidates:
+        best = max(best, f1_score((scores >= threshold).astype(np.int64), labels))
+    return float(best)

@@ -1,0 +1,52 @@
+"""Principal component analysis (used by SPECTRE, the subspace visualisations
+of Figures 3 and 5, and several defenses)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class PCA:
+    """PCA via singular value decomposition of the centred data matrix."""
+
+    def __init__(self, n_components: int = 2) -> None:
+        if n_components <= 0:
+            raise ValueError("n_components must be positive")
+        self.n_components = int(n_components)
+        self.mean_: np.ndarray | None = None
+        self.components_: np.ndarray | None = None
+        self.explained_variance_: np.ndarray | None = None
+        self.explained_variance_ratio_: np.ndarray | None = None
+
+    def fit(self, data: np.ndarray) -> "PCA":
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError(f"data must be 2-D, got shape {data.shape}")
+        if data.shape[0] < 2:
+            raise ValueError("PCA requires at least two samples")
+        k = min(self.n_components, data.shape[1], data.shape[0])
+        self.mean_ = data.mean(axis=0)
+        centred = data - self.mean_
+        _, singular_values, vt = np.linalg.svd(centred, full_matrices=False)
+        variances = (singular_values**2) / max(data.shape[0] - 1, 1)
+        self.components_ = vt[:k]
+        self.explained_variance_ = variances[:k]
+        total = variances.sum()
+        self.explained_variance_ratio_ = (
+            variances[:k] / total if total > 0 else np.zeros(k)
+        )
+        return self
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        if self.components_ is None:
+            raise RuntimeError("PCA has not been fitted")
+        data = np.asarray(data, dtype=np.float64)
+        return (data - self.mean_) @ self.components_.T
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        return self.fit(data).transform(data)
+
+    def inverse_transform(self, projected: np.ndarray) -> np.ndarray:
+        if self.components_ is None:
+            raise RuntimeError("PCA has not been fitted")
+        return np.asarray(projected, dtype=np.float64) @ self.components_ + self.mean_

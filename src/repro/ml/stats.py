@@ -1,0 +1,73 @@
+"""Statistical helpers shared by the robust-statistics defenses (SS, SPECTRE, SCAn)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def top_singular_vector(data: np.ndarray) -> np.ndarray:
+    """Top right-singular vector of the centred data matrix (spectral signature direction)."""
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2 or data.shape[0] < 2:
+        raise ValueError("need a 2-D matrix with at least two rows")
+    centred = data - data.mean(axis=0)
+    _, _, vt = np.linalg.svd(centred, full_matrices=False)
+    return vt[0]
+
+
+def spectral_scores(data: np.ndarray) -> np.ndarray:
+    """Squared projection of each centred row onto the top singular direction."""
+    data = np.asarray(data, dtype=np.float64)
+    centred = data - data.mean(axis=0)
+    direction = top_singular_vector(data)
+    return (centred @ direction) ** 2
+
+
+def whiten(data: np.ndarray, eps: float = 1e-6) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """ZCA-style whitening; returns ``(whitened, mean, whitening_matrix)``."""
+    data = np.asarray(data, dtype=np.float64)
+    mean = data.mean(axis=0)
+    centred = data - mean
+    covariance = centred.T @ centred / max(data.shape[0] - 1, 1)
+    eigenvalues, eigenvectors = np.linalg.eigh(covariance)
+    eigenvalues = np.maximum(eigenvalues, eps)
+    whitening = eigenvectors @ np.diag(1.0 / np.sqrt(eigenvalues)) @ eigenvectors.T
+    return centred @ whitening, mean, whitening
+
+
+def median_absolute_deviation(values: np.ndarray) -> float:
+    """MAD scaled to be a consistent estimator of the standard deviation."""
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if values.size == 0:
+        raise ValueError("cannot compute MAD of an empty array")
+    median = np.median(values)
+    return float(1.4826 * np.median(np.abs(values - median)))
+
+
+def mahalanobis_scores(data: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Squared Mahalanobis distance of each row from the sample mean."""
+    data = np.asarray(data, dtype=np.float64)
+    mean = data.mean(axis=0)
+    centred = data - mean
+    covariance = centred.T @ centred / max(data.shape[0] - 1, 1)
+    covariance += eps * np.eye(covariance.shape[0])
+    inverse = np.linalg.inv(covariance)
+    return np.einsum("ij,jk,ik->i", centred, inverse, centred)
+
+
+def gram_matrix_features(features: np.ndarray, orders=(1, 2)) -> np.ndarray:
+    """Per-sample Gram-matrix statistics (used by Beatrix-style detectors).
+
+    For each sample feature vector ``f`` the order-``p`` Gram feature is the
+    vector of signed ``p``-th powers aggregated by their mean and standard
+    deviation, which summarises higher-order channel correlations cheaply.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    stats = []
+    for order in orders:
+        powered = np.sign(features) * np.abs(features) ** order
+        stats.append(powered.mean(axis=1))
+        stats.append(powered.std(axis=1))
+    return np.stack(stats, axis=1)

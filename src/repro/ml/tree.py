@@ -1,0 +1,174 @@
+"""CART-style decision tree classifier (Gini impurity, axis-aligned splits)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, new_rng
+
+
+@dataclass
+class _Node:
+    """A tree node; leaves carry a class-probability vector."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    probabilities: Optional[np.ndarray] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.probabilities is not None
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    proportions = counts / total
+    return float(1.0 - np.sum(proportions**2))
+
+
+class DecisionTreeClassifier:
+    """A small CART classifier supporting random feature subsampling per split.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (``None`` grows until pure or ``min_samples_split``).
+    min_samples_split:
+        Minimum number of samples required to attempt a split.
+    max_features:
+        Number of candidate features examined per split (``None`` = all,
+        ``"sqrt"`` = square root of the feature count — the random-forest default).
+    """
+
+    def __init__(
+        self,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        max_features: Optional[int | str] = None,
+        rng: SeedLike = None,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_split = int(min_samples_split)
+        self.max_features = max_features
+        self._rng = new_rng(rng)
+        self._root: Optional[_Node] = None
+        self.num_classes_: int = 0
+
+    # -- fitting -------------------------------------------------------------
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "DecisionTreeClassifier":
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if features.ndim != 2:
+            raise ValueError(f"features must be 2-D, got shape {features.shape}")
+        if features.shape[0] != labels.shape[0]:
+            raise ValueError("features and labels disagree on sample count")
+        if features.shape[0] == 0:
+            raise ValueError("cannot fit a tree on zero samples")
+        self.num_classes_ = int(labels.max()) + 1
+        self._root = self._grow(features, labels, depth=0)
+        return self
+
+    def _feature_candidates(self, num_features: int) -> np.ndarray:
+        if self.max_features is None:
+            return np.arange(num_features)
+        if self.max_features == "sqrt":
+            k = max(1, int(np.sqrt(num_features)))
+        else:
+            k = max(1, min(int(self.max_features), num_features))
+        return self._rng.choice(num_features, size=k, replace=False)
+
+    def _leaf(self, labels: np.ndarray) -> _Node:
+        counts = np.bincount(labels, minlength=self.num_classes_).astype(np.float64)
+        return _Node(probabilities=counts / counts.sum())
+
+    def _grow(self, features: np.ndarray, labels: np.ndarray, depth: int) -> _Node:
+        if (
+            labels.shape[0] < self.min_samples_split
+            or np.unique(labels).size == 1
+            or (self.max_depth is not None and depth >= self.max_depth)
+        ):
+            return self._leaf(labels)
+        best = self._best_split(features, labels)
+        if best is None:
+            return self._leaf(labels)
+        feature, threshold = best
+        mask = features[:, feature] <= threshold
+        if not mask.any() or mask.all():
+            return self._leaf(labels)
+        node = _Node(feature=feature, threshold=threshold)
+        node.left = self._grow(features[mask], labels[mask], depth + 1)
+        node.right = self._grow(features[~mask], labels[~mask], depth + 1)
+        return node
+
+    def _best_split(self, features: np.ndarray, labels: np.ndarray):
+        parent_counts = np.bincount(labels, minlength=self.num_classes_)
+        parent_gini = _gini(parent_counts)
+        best_gain = 1e-12
+        best_split = None
+        n = labels.shape[0]
+        for feature in self._feature_candidates(features.shape[1]):
+            column = features[:, feature]
+            order = np.argsort(column, kind="mergesort")
+            sorted_values = column[order]
+            sorted_labels = labels[order]
+            # cumulative class counts for all possible cut positions
+            one_hot = np.zeros((n, self.num_classes_), dtype=np.float64)
+            one_hot[np.arange(n), sorted_labels] = 1.0
+            left_counts = np.cumsum(one_hot, axis=0)
+            total_counts = left_counts[-1]
+            # only consider cuts between distinct feature values
+            distinct = np.flatnonzero(np.diff(sorted_values) > 1e-12)
+            if distinct.size == 0:
+                continue
+            left = left_counts[distinct]
+            right = total_counts - left
+            left_n = distinct + 1
+            right_n = n - left_n
+            left_gini = 1.0 - np.sum((left / left_n[:, None]) ** 2, axis=1)
+            right_gini = 1.0 - np.sum((right / right_n[:, None]) ** 2, axis=1)
+            weighted = (left_n * left_gini + right_n * right_gini) / n
+            gains = parent_gini - weighted
+            best_idx = int(np.argmax(gains))
+            if gains[best_idx] > best_gain:
+                best_gain = float(gains[best_idx])
+                cut = distinct[best_idx]
+                threshold = 0.5 * (sorted_values[cut] + sorted_values[cut + 1])
+                best_split = (int(feature), float(threshold))
+        return best_split
+
+    # -- prediction -----------------------------------------------------------
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("tree has not been fitted")
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValueError(f"features must be 2-D, got shape {features.shape}")
+        output = np.empty((features.shape[0], self.num_classes_), dtype=np.float64)
+        for i, row in enumerate(features):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            output[i] = node.probabilities
+        return output
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return np.argmax(self.predict_proba(features), axis=1)
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+
+        def _depth(node: Optional[_Node]) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(_depth(node.left), _depth(node.right))
+
+        if self._root is None:
+            raise RuntimeError("tree has not been fitted")
+        return _depth(self._root)

@@ -1,0 +1,39 @@
+"""Model zoo: scaled-down counterparts of the paper's architectures.
+
+The paper evaluates ResNet18, MobileNetV2, MobileViT and Swin Transformer.
+This package provides small CPU-trainable members of the same architectural
+families:
+
+* :class:`TinyResNet` (registry names ``"resnet18"``, ``"resnet"``) — residual CNN.
+* :class:`TinyMobileNet` (``"mobilenetv2"``, ``"mobilenet"``) — inverted-residual,
+  depthwise-separable CNN.
+* :class:`TinyViT` (``"mobilevit"``, ``"swin"``, ``"vit"``) — patch-embedding
+  transformer.
+* :class:`MLPNet` (``"mlp"``) — baseline multi-layer perceptron.
+
+Every model exposes ``forward`` / ``backward`` / ``features`` and is wrapped by
+:class:`ImageClassifier`, which adds the training loop, batched prediction and
+evaluation utilities used by attacks, defenses and BPROM itself.
+"""
+
+from repro.models.blocks import InvertedResidualBlock, ResidualBlock, TransformerBlock
+from repro.models.classifier import ImageClassifier
+from repro.models.mlp import MLPNet
+from repro.models.mobilenet import TinyMobileNet
+from repro.models.registry import available_architectures, build_classifier, build_model
+from repro.models.resnet import TinyResNet
+from repro.models.vit import TinyViT
+
+__all__ = [
+    "TinyResNet",
+    "TinyMobileNet",
+    "TinyViT",
+    "MLPNet",
+    "ResidualBlock",
+    "InvertedResidualBlock",
+    "TransformerBlock",
+    "ImageClassifier",
+    "build_model",
+    "build_classifier",
+    "available_architectures",
+]

@@ -1,0 +1,173 @@
+"""ImageClassifier: training loop, batched inference and evaluation utilities.
+
+This wrapper is the unit every other subsystem manipulates: attacks train
+backdoored classifiers, BPROM trains shadow classifiers and prompts suspicious
+classifiers, and the defenses query classifiers for probabilities or features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro import nn
+from repro.config import TrainingConfig
+from repro.datasets.base import ImageDataset
+from repro.datasets.transforms import random_horizontal_flip
+from repro.nn.functional import accuracy, softmax
+from repro.nn.module import Module
+from repro.utils.rng import SeedLike, new_rng
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch loss/accuracy curves recorded by :meth:`ImageClassifier.fit`."""
+
+    losses: List[float] = field(default_factory=list)
+    train_accuracies: List[float] = field(default_factory=list)
+    val_accuracies: List[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+    @property
+    def final_train_accuracy(self) -> float:
+        return self.train_accuracies[-1] if self.train_accuracies else float("nan")
+
+
+class ImageClassifier:
+    """A trainable image classifier built from one of the zoo models.
+
+    Parameters
+    ----------
+    model:
+        A module exposing ``forward``, ``backward`` and ``features``.
+    num_classes:
+        Number of output classes (must match the model head).
+    name:
+        Identifier used in experiment reports (e.g. ``"resnet18/cifar10"``).
+    """
+
+    def __init__(self, model: Module, num_classes: int, name: str = "classifier") -> None:
+        self.model = model
+        self.num_classes = int(num_classes)
+        self.name = name
+        self.history = TrainingHistory()
+
+    # -- training -----------------------------------------------------------
+    def _make_optimizer(self, config: TrainingConfig) -> nn.optim.Optimizer:
+        params = self.model.parameters()
+        if config.optimizer.lower() == "sgd":
+            return nn.SGD(
+                params,
+                lr=config.learning_rate,
+                momentum=0.9,
+                weight_decay=config.weight_decay,
+            )
+        if config.optimizer.lower() == "adam":
+            return nn.Adam(
+                params, lr=config.learning_rate, weight_decay=config.weight_decay
+            )
+        raise ValueError(f"unknown optimizer {config.optimizer!r}")
+
+    def fit(
+        self,
+        train_dataset: ImageDataset,
+        config: Optional[TrainingConfig] = None,
+        rng: SeedLike = None,
+        val_dataset: Optional[ImageDataset] = None,
+        augment: bool = False,
+        epoch_callback: Optional[Callable[[int, float], None]] = None,
+    ) -> TrainingHistory:
+        """Train the wrapped model on ``train_dataset``; returns the loss history."""
+        config = config or TrainingConfig()
+        rng = new_rng(rng)
+        optimizer = self._make_optimizer(config)
+        criterion = nn.CrossEntropyLoss(label_smoothing=config.label_smoothing)
+        self.model.train()
+        history = TrainingHistory()
+        for epoch in range(config.epochs):
+            epoch_losses = []
+            epoch_accs = []
+            for images, labels in train_dataset.batches(
+                config.batch_size, shuffle=True, rng=rng
+            ):
+                if augment:
+                    images = random_horizontal_flip(images, rng=rng)
+                logits = self.model(images)
+                loss = criterion(logits, labels)
+                optimizer.zero_grad()
+                self.model.backward(criterion.backward())
+                optimizer.step()
+                epoch_losses.append(loss)
+                epoch_accs.append(accuracy(logits, labels))
+            history.losses.append(float(np.mean(epoch_losses)))
+            history.train_accuracies.append(float(np.mean(epoch_accs)))
+            if val_dataset is not None:
+                history.val_accuracies.append(self.evaluate(val_dataset))
+                self.model.train()
+            if epoch_callback is not None:
+                epoch_callback(epoch, history.losses[-1])
+        self.model.eval()
+        self.history = history
+        return history
+
+    # -- inference ------------------------------------------------------------
+    def predict_logits(self, images: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Raw logits for an NCHW batch (model switched to eval mode)."""
+        self.model.eval()
+        outputs = []
+        for start in range(0, images.shape[0], batch_size):
+            outputs.append(self.model(images[start : start + batch_size]))
+        return np.concatenate(outputs, axis=0) if outputs else np.empty((0, self.num_classes))
+
+    def predict_proba(self, images: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Softmax confidence vectors — the only view a black-box defender gets."""
+        return softmax(self.predict_logits(images, batch_size), axis=1)
+
+    def predict(self, images: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Hard label predictions."""
+        return np.argmax(self.predict_logits(images, batch_size), axis=1)
+
+    def features(self, images: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Penultimate-layer features (white-box defenses and visualisation only)."""
+        self.model.eval()
+        outputs = []
+        for start in range(0, images.shape[0], batch_size):
+            outputs.append(self.model.features(images[start : start + batch_size]))
+        return np.concatenate(outputs, axis=0)
+
+    # -- evaluation -------------------------------------------------------------
+    def evaluate(self, dataset: ImageDataset, batch_size: int = 256) -> float:
+        """Top-1 accuracy on a dataset."""
+        if len(dataset) == 0:
+            return 0.0
+        logits = self.predict_logits(dataset.images, batch_size)
+        return accuracy(logits, dataset.labels)
+
+    def evaluate_attack_success(
+        self,
+        triggered_images: np.ndarray,
+        target_class: int,
+        original_labels: Optional[np.ndarray] = None,
+    ) -> float:
+        """Attack success rate: fraction of triggered inputs classified as the target.
+
+        When ``original_labels`` is provided, samples already belonging to the
+        target class are excluded (the standard ASR convention).
+        """
+        if triggered_images.shape[0] == 0:
+            return 0.0
+        predictions = self.predict(triggered_images)
+        if original_labels is not None:
+            keep = np.asarray(original_labels) != target_class
+            if not np.any(keep):
+                return 0.0
+            predictions = predictions[keep]
+        return float(np.mean(predictions == target_class))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ImageClassifier(name={self.name!r}, classes={self.num_classes})"

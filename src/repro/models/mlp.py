@@ -1,0 +1,46 @@
+"""A plain multi-layer perceptron baseline (used in tests and as a sanity model)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro import nn
+from repro.nn.module import Module, Sequential
+from repro.utils.rng import SeedLike, spawn_rngs
+
+
+class MLPNet(Module):
+    """Flatten + stacked Linear/ReLU layers + linear head."""
+
+    def __init__(
+        self,
+        num_classes: int,
+        input_dim: int,
+        hidden_dims: Sequence[int] = (64, 32),
+        rng: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        self.num_classes = int(num_classes)
+        self.input_dim = int(input_dim)
+        rngs = spawn_rngs(rng, len(hidden_dims) + 1)
+        layers = [nn.Flatten()]
+        previous = input_dim
+        for rng_i, hidden in zip(rngs[:-1], hidden_dims):
+            layers.append(nn.Linear(previous, hidden, rng=rng_i))
+            layers.append(nn.ReLU())
+            previous = hidden
+        self.backbone = Sequential(*layers)
+        self.feature_dim = previous
+        self.head = nn.Linear(previous, num_classes, rng=rngs[-1])
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.head(self.backbone(x))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self.backbone.backward(self.head.backward(grad_output))
+
+    def features(self, x: np.ndarray) -> np.ndarray:
+        """Penultimate hidden activations, shape (N, feature_dim)."""
+        return self.backbone(x)

@@ -1,0 +1,60 @@
+"""TinyMobileNet — the reproduction's counterpart of MobileNetV2."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro import nn
+from repro.models.blocks import InvertedResidualBlock
+from repro.nn.module import Module, Sequential
+from repro.utils.rng import SeedLike, spawn_rngs
+
+
+class TinyMobileNet(Module):
+    """A small depthwise-separable CNN with MobileNetV2-style inverted residuals."""
+
+    def __init__(
+        self,
+        num_classes: int,
+        in_channels: int = 3,
+        block_settings: Sequence[Tuple[int, int, int]] = ((8, 1, 1), (16, 2, 2), (16, 1, 2)),
+        stem_channels: int = 8,
+        rng: SeedLike = None,
+    ) -> None:
+        """``block_settings`` is a sequence of ``(out_channels, stride, expansion)``."""
+        super().__init__()
+        self.num_classes = int(num_classes)
+        self.in_channels = int(in_channels)
+        rngs = spawn_rngs(rng, 2 + len(block_settings))
+        rng_iter = iter(rngs)
+
+        stem = Sequential(
+            nn.Conv2d(in_channels, stem_channels, 3, padding=1, bias=False, rng=next(rng_iter)),
+            nn.BatchNorm2d(stem_channels),
+            nn.ReLU(),
+        )
+        blocks = Sequential()
+        channels = stem_channels
+        for out_channels, stride, expansion in block_settings:
+            blocks.append(
+                InvertedResidualBlock(
+                    channels, out_channels, stride=stride, expansion=expansion,
+                    rng=next(rng_iter),
+                )
+            )
+            channels = out_channels
+        self.backbone = Sequential(stem, blocks, nn.GlobalAvgPool2d())
+        self.feature_dim = channels
+        self.head = nn.Linear(channels, num_classes, rng=next(rng_iter))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.head(self.backbone(x))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self.backbone.backward(self.head.backward(grad_output))
+
+    def features(self, x: np.ndarray) -> np.ndarray:
+        """Penultimate (pre-head) feature vectors, shape (N, feature_dim)."""
+        return self.backbone(x)

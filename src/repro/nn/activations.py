@@ -1,0 +1,89 @@
+"""Element-wise activation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output * self._mask
+
+
+class LeakyReLU(Module):
+    """Leaky ReLU with configurable negative slope."""
+
+    def __init__(self, negative_slope: float = 0.01) -> None:
+        super().__init__()
+        self.negative_slope = float(negative_slope)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, self.negative_slope * x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return np.where(self._mask, grad_output, self.negative_slope * grad_output)
+
+
+class GELU(Module):
+    """Gaussian error linear unit (tanh approximation)."""
+
+    _C = np.sqrt(2.0 / np.pi)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        self._inner = self._C * (x + 0.044715 * x**3)
+        self._tanh = np.tanh(self._inner)
+        return 0.5 * x * (1.0 + self._tanh)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        x = self._x
+        sech2 = 1.0 - self._tanh**2
+        d_inner = self._C * (1.0 + 3 * 0.044715 * x**2)
+        grad = 0.5 * (1.0 + self._tanh) + 0.5 * x * sech2 * d_inner
+        return grad_output * grad
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = np.empty_like(x, dtype=np.float64)
+        pos = x >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        expx = np.exp(x[~pos])
+        out[~pos] = expx / (1.0 + expx)
+        self._out = out
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output * self._out * (1.0 - self._out)
+
+
+class Tanh(Module):
+    """Hyperbolic tangent."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._out = np.tanh(x)
+        return self._out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output * (1.0 - self._out**2)
+
+
+class Identity(Module):
+    """No-op layer, useful as an optional-stage placeholder."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output

@@ -1,0 +1,109 @@
+"""2-D convolution implemented with im2col, supporting grouped/depthwise kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.functional import col2im, im2col
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+from repro.utils.rng import SeedLike, new_rng
+
+
+class Conv2d(Module):
+    """2-D convolution over NCHW batches.
+
+    ``groups > 1`` splits channels into groups convolved independently;
+    ``groups == in_channels == out_channels`` is a depthwise convolution, which
+    the MobileNet-style architecture uses.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        groups: int = 1,
+        bias: bool = True,
+        rng: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        if in_channels % groups or out_channels % groups:
+            raise ValueError(
+                f"in_channels ({in_channels}) and out_channels ({out_channels}) "
+                f"must both be divisible by groups ({groups})"
+            )
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.kernel_size = int(kernel_size)
+        self.stride = int(stride)
+        self.padding = int(padding)
+        self.groups = int(groups)
+        rng = new_rng(rng)
+        fan_in = (in_channels // groups) * kernel_size * kernel_size
+        self.weight = Parameter(
+            init.kaiming_normal(
+                (out_channels, in_channels // groups, kernel_size, kernel_size),
+                fan_in=fan_in,
+                rng=rng,
+            ),
+            name="weight",
+        )
+        self.use_bias = bool(bias)
+        if self.use_bias:
+            self.bias = Parameter(init.zeros((out_channels,)), name="bias")
+
+    # -- helpers -----------------------------------------------------------
+    def _forward_group(self, x: np.ndarray, weight: np.ndarray):
+        cols, out_h, out_w = im2col(x, self.kernel_size, self.stride, self.padding)
+        w_mat = weight.reshape(weight.shape[0], -1)
+        out = cols @ w_mat.T
+        return out, cols, out_h, out_w
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n = x.shape[0]
+        self._input_shape = x.shape
+        cin_g = self.in_channels // self.groups
+        cout_g = self.out_channels // self.groups
+        self._cols = []
+        outputs = []
+        for g in range(self.groups):
+            xg = x[:, g * cin_g : (g + 1) * cin_g]
+            wg = self.weight.data[g * cout_g : (g + 1) * cout_g]
+            out, cols, out_h, out_w = self._forward_group(xg, wg)
+            self._cols.append(cols)
+            outputs.append(out)
+        self._out_hw = (out_h, out_w)
+        # each `out` is (N*out_h*out_w, cout_g); stack along channel axis
+        merged = np.concatenate(outputs, axis=1)
+        merged = merged.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+        if self.use_bias:
+            merged = merged + self.bias.data[None, :, None, None]
+        return merged
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        n, _, out_h, out_w = grad_output.shape
+        cin_g = self.in_channels // self.groups
+        cout_g = self.out_channels // self.groups
+        if self.use_bias:
+            self.bias.accumulate_grad(grad_output.sum(axis=(0, 2, 3)))
+        grad_flat = grad_output.transpose(0, 2, 3, 1).reshape(n * out_h * out_w, self.out_channels)
+        grad_input = np.empty(self._input_shape, dtype=np.float64)
+        grad_weight = np.empty_like(self.weight.data)
+        group_input_shape = (n, cin_g, self._input_shape[2], self._input_shape[3])
+        for g in range(self.groups):
+            gout = grad_flat[:, g * cout_g : (g + 1) * cout_g]
+            cols = self._cols[g]
+            wg = self.weight.data[g * cout_g : (g + 1) * cout_g].reshape(cout_g, -1)
+            grad_weight[g * cout_g : (g + 1) * cout_g] = (gout.T @ cols).reshape(
+                cout_g, cin_g, self.kernel_size, self.kernel_size
+            )
+            grad_cols = gout @ wg
+            grad_input[:, g * cin_g : (g + 1) * cin_g] = col2im(
+                grad_cols, group_input_shape, self.kernel_size, self.stride, self.padding
+            )
+        self.weight.accumulate_grad(grad_weight)
+        return grad_input

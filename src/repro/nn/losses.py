@@ -1,0 +1,60 @@
+"""Loss functions with explicit gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import log_softmax, one_hot, softmax
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy over integer labels, with optional label smoothing.
+
+    ``forward`` returns the mean loss; ``backward`` returns the gradient of the
+    mean loss with respect to the logits.
+    """
+
+    def __init__(self, label_smoothing: float = 0.0) -> None:
+        if not 0.0 <= label_smoothing < 1.0:
+            raise ValueError(f"label_smoothing must be in [0, 1), got {label_smoothing}")
+        self.label_smoothing = float(label_smoothing)
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        labels = np.asarray(labels, dtype=np.int64)
+        num_classes = logits.shape[1]
+        targets = one_hot(labels, num_classes)
+        if self.label_smoothing > 0:
+            targets = (
+                targets * (1.0 - self.label_smoothing) + self.label_smoothing / num_classes
+            )
+        self._targets = targets
+        self._probs = softmax(logits, axis=1)
+        log_probs = log_softmax(logits, axis=1)
+        return float(-np.sum(targets * log_probs) / logits.shape[0])
+
+    def backward(self) -> np.ndarray:
+        n = self._probs.shape[0]
+        return (self._probs - self._targets) / n
+
+    def __call__(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        return self.forward(logits, labels)
+
+
+class MSELoss:
+    """Mean squared error between predictions and targets."""
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        predictions = np.asarray(predictions, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if predictions.shape != targets.shape:
+            raise ValueError(
+                f"shape mismatch: predictions {predictions.shape} vs targets {targets.shape}"
+            )
+        self._diff = predictions - targets
+        return float(np.mean(self._diff**2))
+
+    def backward(self) -> np.ndarray:
+        return 2.0 * self._diff / self._diff.size
+
+    def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(predictions, targets)

@@ -1,0 +1,72 @@
+"""Trainable parameter container."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class Parameter:
+    """A named trainable tensor with an accumulated gradient.
+
+    Attributes
+    ----------
+    data:
+        The parameter values (always ``float64`` for numerical-gradient
+        friendliness; the small models used here do not benefit from float32).
+    grad:
+        The accumulated gradient of the current backward pass, or ``None`` if
+        no backward pass has touched this parameter since the last
+        ``zero_grad``.
+    requires_grad:
+        When ``False`` the optimiser skips this parameter (used to freeze a
+        source model while training a visual prompt).
+    """
+
+    __slots__ = ("data", "grad", "name", "requires_grad")
+
+    def __init__(self, data: np.ndarray, name: str = "", requires_grad: bool = True) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: Optional[np.ndarray] = None
+        self.name = name
+        self.requires_grad = requires_grad
+
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into the stored gradient (creating it if absent)."""
+        if not self.requires_grad:
+            return
+        grad = np.asarray(grad, dtype=np.float64)
+        if grad.shape != self.data.shape:
+            raise ValueError(
+                f"gradient shape {grad.shape} does not match parameter "
+                f"{self.name or '<unnamed>'} shape {self.data.shape}"
+            )
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def copy_(self, values: np.ndarray) -> None:
+        """In-place overwrite of the parameter values (shape must match)."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != self.data.shape:
+            raise ValueError(
+                f"cannot copy values of shape {values.shape} into parameter of "
+                f"shape {self.data.shape}"
+            )
+        self.data[...] = values
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter(name={self.name!r}, shape={self.data.shape})"

@@ -1,0 +1,94 @@
+"""Black-box (query-only) prompt training, used for the suspicious model.
+
+The defender cannot backpropagate through the suspicious model: only its
+confidence vectors are observable.  The prompt is therefore optimised with a
+gradient-free method (CMA-ES by default, as in the paper; SPSA and random
+search are available for the optimiser ablation).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.config import PromptConfig
+from repro.datasets.base import ImageDataset
+from repro.ml.cma_es import build_blackbox_optimizer
+from repro.models.classifier import ImageClassifier
+from repro.prompting.output_mapping import LabelMapping
+from repro.prompting.prompt import VisualPrompt
+from repro.prompting.prompted import PromptedClassifier
+from repro.utils.rng import SeedLike, new_rng
+
+#: a query function maps an NCHW batch to (N, K_S) confidence vectors
+QueryFunction = Callable[[np.ndarray], np.ndarray]
+
+
+def _cross_entropy_from_probabilities(
+    probabilities: np.ndarray, labels: np.ndarray
+) -> float:
+    clipped = np.clip(probabilities, 1e-9, 1.0)
+    return float(-np.mean(np.log(clipped[np.arange(labels.shape[0]), labels])))
+
+
+def train_prompt_blackbox(
+    suspicious_classifier: ImageClassifier,
+    target_train: ImageDataset,
+    config: Optional[PromptConfig] = None,
+    mapping_mode: str = "identity",
+    rng: SeedLike = None,
+    name: str = "prompted-suspicious",
+    query_function: Optional[QueryFunction] = None,
+    num_source_classes: Optional[int] = None,
+) -> PromptedClassifier:
+    """Learn a visual prompt for the suspicious model using only black-box queries.
+
+    ``query_function`` defaults to the classifier's ``predict_proba`` — the
+    MLaaS confidence-vector interface.  Passing a custom callable allows
+    plugging in an actual remote endpoint.
+    """
+    config = config or PromptConfig()
+    rng = new_rng(rng)
+    query = query_function or suspicious_classifier.predict_proba
+    source_classes = num_source_classes or suspicious_classifier.num_classes
+
+    prompt = VisualPrompt(
+        source_size=config.source_size,
+        inner_size=config.inner_size,
+        channels=3,
+        rng=rng,
+    )
+    mapping = LabelMapping(
+        num_source_classes=source_classes,
+        num_target_classes=target_train.num_classes,
+        mode=mapping_mode,
+    )
+
+    # a fixed optimisation batch keeps the objective deterministic across
+    # candidate evaluations (important for evolution strategies)
+    batch_size = min(config.batch_size, len(target_train))
+    optimisation_batch = target_train.sample(batch_size, rng=rng)
+    source_labels = mapping.target_labels_as_source(optimisation_batch.labels)
+
+    def objective(flat_prompt: np.ndarray) -> float:
+        prompt.set_flat(flat_prompt)
+        probabilities = query(prompt.apply(optimisation_batch.images))
+        return _cross_entropy_from_probabilities(probabilities, source_labels)
+
+    optimizer = build_blackbox_optimizer(
+        config.blackbox_optimizer,
+        iterations=config.blackbox_iterations,
+        population=config.blackbox_population,
+        rng=rng,
+    )
+    result = optimizer.minimize(objective, prompt.get_flat())
+    prompt.set_flat(result.best_x)
+
+    if mapping_mode == "frequency":
+        probabilities = query(prompt.apply(target_train.images))
+        mapping.fit(probabilities, target_train.labels)
+
+    prompted = PromptedClassifier(suspicious_classifier, prompt, mapping, name=name)
+    prompted.optimization_result = result  # type: ignore[attr-defined]
+    return prompted

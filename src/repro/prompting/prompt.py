@@ -1,0 +1,117 @@
+"""The visual prompt ``theta`` and the padding operator ``V(x | theta)``."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.transforms import resize_batch
+from repro.utils.rng import SeedLike, new_rng
+from repro.utils.validation import check_image_batch
+
+
+class VisualPrompt:
+    """A trainable additive border prompt.
+
+    ``V(x | theta)`` resizes the target-domain image ``x`` to ``inner_size``,
+    places it at the centre of a ``source_size`` canvas, and adds the prompt
+    ``theta`` on the border ring (the centre portion of ``theta`` is masked
+    out, matching the "trainable noise around the image" construction of
+    Bahng et al. and Figure 1a of the paper).
+
+    The prompt exposes both a gradient interface (``accumulate_grad`` /
+    ``apply_gradient_step``) for white-box training and a flat-vector interface
+    (``get_flat`` / ``set_flat``) for the gradient-free black-box optimisers.
+    """
+
+    def __init__(
+        self,
+        source_size: int = 16,
+        inner_size: int = 10,
+        channels: int = 3,
+        init_scale: float = 0.05,
+        rng: SeedLike = None,
+    ) -> None:
+        if inner_size > source_size:
+            raise ValueError(
+                f"inner_size ({inner_size}) cannot exceed source_size ({source_size})"
+            )
+        if inner_size <= 0 or source_size <= 0:
+            raise ValueError("sizes must be positive")
+        self.source_size = int(source_size)
+        self.inner_size = int(inner_size)
+        self.channels = int(channels)
+        rng = new_rng(rng)
+        self.theta = rng.normal(0.0, init_scale, size=(channels, source_size, source_size))
+        self.grad = np.zeros_like(self.theta)
+        self._mask = self._build_border_mask()
+        self.theta *= self._mask
+
+    def _build_border_mask(self) -> np.ndarray:
+        mask = np.ones((self.channels, self.source_size, self.source_size), dtype=np.float64)
+        top = (self.source_size - self.inner_size) // 2
+        left = top
+        mask[:, top : top + self.inner_size, left : left + self.inner_size] = 0.0
+        return mask
+
+    @property
+    def border_mask(self) -> np.ndarray:
+        """Binary (C, S, S) mask of the prompt's trainable border region."""
+        return self._mask.copy()
+
+    @property
+    def num_parameters(self) -> int:
+        """Number of trainable prompt entries (border pixels x channels)."""
+        return int(self._mask.sum())
+
+    # -- the padding operator V ------------------------------------------------
+    def apply(self, target_images: np.ndarray) -> np.ndarray:
+        """``V(x | theta)``: resize, centre-pad and add the prompt."""
+        target_images = check_image_batch(target_images, "target_images")
+        n = target_images.shape[0]
+        resized = resize_batch(target_images, self.inner_size)
+        canvas = np.zeros((n, self.channels, self.source_size, self.source_size))
+        top = (self.source_size - self.inner_size) // 2
+        left = top
+        canvas[:, :, top : top + self.inner_size, left : left + self.inner_size] = resized[
+            :, : self.channels
+        ]
+        prompted = canvas + (self.theta * self._mask)[None]
+        return np.clip(prompted, 0.0, 1.0)
+
+    # -- white-box gradient interface -------------------------------------------
+    def zero_grad(self) -> None:
+        self.grad = np.zeros_like(self.theta)
+
+    def accumulate_grad(self, grad_prompted: np.ndarray) -> None:
+        """Accumulate d(loss)/d(theta) given d(loss)/d(prompted images)."""
+        grad_prompted = np.asarray(grad_prompted, dtype=np.float64)
+        if grad_prompted.ndim != 4:
+            raise ValueError("grad_prompted must be an NCHW batch gradient")
+        self.grad += grad_prompted.sum(axis=0) * self._mask
+
+    def apply_gradient_step(self, learning_rate: float) -> None:
+        self.theta -= learning_rate * self.grad
+        self.theta *= self._mask
+
+    # -- black-box flat-vector interface ------------------------------------------
+    def get_flat(self) -> np.ndarray:
+        """The trainable border entries as a flat vector."""
+        return self.theta[self._mask > 0].copy()
+
+    def set_flat(self, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.float64).ravel()
+        expected = self.num_parameters
+        if values.size != expected:
+            raise ValueError(
+                f"expected {expected} prompt parameters, got {values.size}"
+            )
+        theta = np.zeros_like(self.theta)
+        theta[self._mask > 0] = values
+        self.theta = theta
+
+    def copy(self) -> "VisualPrompt":
+        clone = VisualPrompt(
+            self.source_size, self.inner_size, self.channels, init_scale=0.0
+        )
+        clone.theta = self.theta.copy()
+        return clone

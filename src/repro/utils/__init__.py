@@ -1,0 +1,21 @@
+"""Shared utilities: seeded RNG management, timing, validation and serialization."""
+
+from repro.utils.rng import RngMixin, new_rng, spawn_rngs
+from repro.utils.timer import Timer
+from repro.utils.validation import (
+    check_fraction,
+    check_image_batch,
+    check_labels,
+    check_positive_int,
+)
+
+__all__ = [
+    "RngMixin",
+    "new_rng",
+    "spawn_rngs",
+    "Timer",
+    "check_fraction",
+    "check_image_batch",
+    "check_labels",
+    "check_positive_int",
+]

@@ -1,0 +1,65 @@
+"""Deterministic random number generation helpers.
+
+Every stochastic component in the library (dataset synthesis, model
+initialisation, poisoning, prompt optimisation, defenses) takes either a seed
+or an already-constructed :class:`numpy.random.Generator`.  Centralising the
+conversion here keeps experiments reproducible: a single integer seed at the
+top of an experiment fans out into independent generators for each component.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def new_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` from a seed, generator or ``None``.
+
+    Passing an existing generator returns it unchanged so callers can share a
+    stream; passing ``None`` produces a non-deterministic generator.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
+    """Create ``count`` statistically independent generators from one seed."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    root = new_rng(seed)
+    seeds = root.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def derive_seed(seed: SeedLike, *salts: Iterable) -> int:
+    """Derive a stable child seed from a parent seed and hashable salts.
+
+    Used when a component needs a reproducible seed that depends on, e.g., the
+    shadow-model index, without consuming draws from the parent stream.
+    """
+    base = 0 if seed is None else (seed if isinstance(seed, int) else 0)
+    mask = (1 << 64) - 1
+    h = (int(base) * 0x9E3779B97F4A7C15) & mask
+    for salt in salts:
+        h = ((h ^ (abs(hash(salt)) % (2**63))) * 0xC2B2AE3D27D4EB4F) & mask
+    return int(h % (2**31 - 1))
+
+
+class RngMixin:
+    """Mixin that stores a generator created from a flexible ``seed`` argument."""
+
+    def __init__(self, seed: SeedLike = None) -> None:
+        self._rng = new_rng(seed)
+
+    @property
+    def rng(self) -> np.random.Generator:
+        return self._rng
+
+    def reseed(self, seed: Optional[int]) -> None:
+        """Replace the generator; useful for re-running a component deterministically."""
+        self._rng = new_rng(seed)

@@ -1,0 +1,48 @@
+"""A tiny wall-clock timer used by the experiment harness and examples."""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+
+class Timer:
+    """Context-manager timer that accumulates named durations.
+
+    Example
+    -------
+    >>> timer = Timer()
+    >>> with timer.measure("train"):
+    ...     pass
+    >>> timer.total("train") >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = {}
+        self._start: Optional[float] = None
+        self._label: Optional[str] = None
+
+    def measure(self, label: str) -> "Timer":
+        self._label = label
+        return self
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._start is None or self._label is None:
+            return
+        elapsed = time.perf_counter() - self._start
+        self._totals[self._label] = self._totals.get(self._label, 0.0) + elapsed
+        self._start = None
+        self._label = None
+
+    def total(self, label: str) -> float:
+        """Accumulated seconds recorded under ``label`` (0.0 if never recorded)."""
+        return self._totals.get(label, 0.0)
+
+    def totals(self) -> Dict[str, float]:
+        """A copy of all accumulated durations."""
+        return dict(self._totals)

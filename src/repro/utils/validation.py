@@ -1,0 +1,56 @@
+"""Input validation helpers shared across the library.
+
+These raise early, descriptive errors instead of letting malformed arrays
+propagate into numpy broadcasting surprises deep inside training loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_fraction(value: float, name: str, *, allow_zero: bool = False) -> float:
+    """Validate that ``value`` lies in (0, 1] (or [0, 1] when ``allow_zero``)."""
+    value = float(value)
+    low_ok = value >= 0.0 if allow_zero else value > 0.0
+    if not (low_ok and value <= 1.0):
+        bound = "[0, 1]" if allow_zero else "(0, 1]"
+        raise ValueError(f"{name} must be in {bound}, got {value}")
+    return value
+
+
+def check_image_batch(x: np.ndarray, name: str = "x") -> np.ndarray:
+    """Validate an NCHW float image batch and return it as float64/float32."""
+    x = np.asarray(x)
+    if x.ndim != 4:
+        raise ValueError(f"{name} must have shape (N, C, H, W), got shape {x.shape}")
+    if not np.issubdtype(x.dtype, np.floating):
+        x = x.astype(np.float64)
+    return x
+
+
+def check_labels(y: np.ndarray, num_classes: int | None = None, name: str = "y") -> np.ndarray:
+    """Validate an integer label vector, optionally bounding it by ``num_classes``."""
+    y = np.asarray(y)
+    if y.ndim != 1:
+        raise ValueError(f"{name} must be a 1-D label vector, got shape {y.shape}")
+    if not np.issubdtype(y.dtype, np.integer):
+        if np.any(y != np.floor(y)):
+            raise ValueError(f"{name} must contain integer labels")
+        y = y.astype(np.int64)
+    if num_classes is not None:
+        if y.size and (y.min() < 0 or y.max() >= num_classes):
+            raise ValueError(
+                f"{name} labels must be in [0, {num_classes}), got range "
+                f"[{y.min()}, {y.max()}]"
+            )
+    return y.astype(np.int64)

@@ -1,0 +1,168 @@
+"""Tests for the dataset substrate: containers, synthesis, registry, transforms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import FAST
+from repro.datasets import (
+    ImageDataset,
+    SyntheticImageDistribution,
+    available_datasets,
+    load_dataset,
+    normalize,
+    resize_batch,
+    to_grayscale,
+)
+from repro.datasets.registry import DATASET_SPECS, build_distribution, get_spec
+from repro.datasets.synthetic import SyntheticStyle
+from repro.datasets.transforms import pad_to, random_horizontal_flip, random_shift
+
+
+def test_image_dataset_validates_shapes(rng):
+    with pytest.raises(ValueError):
+        ImageDataset(rng.random((4, 3, 8)), np.zeros(4, dtype=int))
+    with pytest.raises(ValueError):
+        ImageDataset(rng.random((4, 3, 8, 8)), np.zeros(5, dtype=int))
+    with pytest.raises(ValueError):
+        ImageDataset(rng.random((4, 3, 8, 8)), np.array([0, 1, 2, 5]), num_classes=3)
+
+
+def test_image_dataset_basic_accessors(tiny_dataset):
+    assert len(tiny_dataset) == 40
+    assert tiny_dataset.num_classes == 4
+    assert tiny_dataset.image_shape == (3, 12, 12)
+    counts = tiny_dataset.class_counts()
+    assert counts.sum() == len(tiny_dataset)
+    image, label = tiny_dataset[0]
+    assert image.shape == (3, 12, 12)
+    assert 0 <= label < 4
+
+
+def test_dataset_split_and_subset(tiny_dataset):
+    split = tiny_dataset.split(0.25, rng=0)
+    assert len(split.first) + len(split.second) == len(tiny_dataset)
+    assert len(split.first) == 10
+    subset = tiny_dataset.subset([0, 1, 2])
+    assert len(subset) == 3
+
+
+def test_sample_fraction_is_stratified(tiny_dataset):
+    sampled = tiny_dataset.sample_fraction(0.5, rng=0)
+    counts = sampled.class_counts()
+    assert np.all(counts == 5)
+
+
+def test_dataset_batches_cover_all_samples(tiny_dataset):
+    seen = 0
+    for images, labels in tiny_dataset.batches(batch_size=16, shuffle=True, rng=0):
+        assert images.shape[0] == labels.shape[0]
+        seen += images.shape[0]
+    assert seen == len(tiny_dataset)
+
+
+def test_dataset_concatenate(tiny_dataset, tiny_test_dataset):
+    merged = ImageDataset.concatenate([tiny_dataset, tiny_test_dataset])
+    assert len(merged) == len(tiny_dataset) + len(tiny_test_dataset)
+
+
+def test_synthetic_distribution_is_deterministic():
+    style = SyntheticStyle(style_seed=3)
+    a = SyntheticImageDistribution(4, 12, 3, style).sample(5, rng=11)
+    b = SyntheticImageDistribution(4, 12, 3, style).sample(5, rng=11)
+    assert np.allclose(a.images, b.images)
+    assert np.array_equal(a.labels, b.labels)
+
+
+def test_synthetic_classes_are_distinguishable(tiny_distribution):
+    """Per-class means should be further apart than within-class spread."""
+    data = tiny_distribution.sample(12, rng=3)
+    means = np.stack(
+        [data.images[data.labels == c].mean(axis=0).ravel() for c in range(4)]
+    )
+    between = np.linalg.norm(means[0] - means[1])
+    within = np.mean(
+        np.linalg.norm(
+            data.images[data.labels == 0].reshape(12, -1) - means[0], axis=1
+        )
+    )
+    assert between > 0.5 * within
+
+
+def test_synthetic_pixel_range(tiny_dataset):
+    assert tiny_dataset.images.min() >= 0.0
+    assert tiny_dataset.images.max() <= 1.0
+
+
+def test_registry_contains_all_paper_datasets():
+    names = available_datasets()
+    for expected in ("cifar10", "gtsrb", "stl10", "svhn", "mnist", "cifar100", "tiny_imagenet", "imagenet"):
+        assert expected in names
+
+
+def test_registry_class_capping():
+    spec = get_spec("gtsrb")
+    assert spec.native_classes == 43
+    assert spec.effective_classes(FAST) == FAST.max_classes
+    assert get_spec("cifar10").effective_classes(FAST) == 10
+
+
+def test_load_dataset_is_deterministic_and_sized():
+    train_a, test_a = load_dataset("cifar10", FAST, seed=5)
+    train_b, _ = load_dataset("cifar10", FAST, seed=5)
+    assert np.allclose(train_a.images, train_b.images)
+    assert len(train_a) == FAST.train_per_class * 10
+    assert len(test_a) == FAST.test_per_class * 10
+
+
+def test_load_dataset_unknown_name():
+    with pytest.raises(KeyError):
+        load_dataset("not-a-dataset", FAST)
+
+
+def test_different_datasets_have_different_domains():
+    dist_a = build_distribution("cifar10", FAST)
+    dist_b = build_distribution("stl10", FAST)
+    assert not np.allclose(dist_a.prototypes[:5], dist_b.prototypes[:5])
+
+
+def test_resize_batch_shapes_and_identity(rng):
+    images = rng.random((2, 3, 8, 8))
+    up = resize_batch(images, 16)
+    assert up.shape == (2, 3, 16, 16)
+    same = resize_batch(images, 8)
+    assert np.allclose(same, images)
+
+
+def test_resize_batch_preserves_constant_images():
+    images = np.full((1, 3, 6, 6), 0.37)
+    resized = resize_batch(images, 11)
+    assert np.allclose(resized, 0.37)
+
+
+def test_normalize_and_grayscale(rng):
+    images = rng.random((2, 3, 4, 4))
+    normalised = normalize(images)
+    assert normalised.min() >= -1.0 and normalised.max() <= 1.0
+    gray = to_grayscale(images)
+    assert gray.shape == images.shape
+    assert np.allclose(gray[:, 0], gray[:, 1])
+
+
+def test_random_flip_and_shift_keep_shape(rng):
+    images = rng.random((4, 3, 8, 8))
+    flipped = random_horizontal_flip(images, probability=1.0, rng=0)
+    assert flipped.shape == images.shape
+    assert np.allclose(flipped, images[:, :, :, ::-1])
+    shifted = random_shift(images, max_shift=2, rng=0)
+    assert shifted.shape == images.shape
+
+
+def test_pad_to_centres_content(rng):
+    images = rng.random((1, 3, 4, 4))
+    padded = pad_to(images, 8, fill=0.0)
+    assert padded.shape == (1, 3, 8, 8)
+    assert np.allclose(padded[:, :, 2:6, 2:6], images)
+    with pytest.raises(ValueError):
+        pad_to(images, 2)

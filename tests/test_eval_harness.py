@@ -1,0 +1,90 @@
+"""Tests for the evaluation harness, tables and a fast experiment run."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.harness import ExperimentContext, bprom_detection_auroc, build_suspicious_pool
+from repro.eval.tables import compare_with_paper, format_table, merge_rows
+from repro.eval import paper_reference
+
+
+@pytest.fixture(scope="module")
+def context(micro_profile):
+    profile = micro_profile.with_overrides(name="micro-eval")
+    return ExperimentContext(profile, seed=0)
+
+
+def test_context_dataset_caching(context):
+    first = context.datasets("cifar10")
+    second = context.datasets("cifar10")
+    assert first[0] is second[0]
+
+
+def test_reserved_clean_scales_with_fraction(context):
+    small = context.reserved_clean("cifar10", 0.01)
+    large = context.reserved_clean("cifar10", 0.10)
+    assert len(small) < len(large)
+    assert small.num_classes == large.num_classes
+
+
+def test_suspicious_model_cache_and_metadata(context):
+    clean_a = context.suspicious_model("cifar10", None, 0, "mlp")
+    clean_b = context.suspicious_model("cifar10", None, 0, "mlp")
+    assert clean_a is clean_b
+    assert not clean_a.is_backdoored
+    backdoored = context.suspicious_model("cifar10", "badnets", 0, "mlp")
+    assert backdoored.is_backdoored
+    assert backdoored.attack_name == "badnets"
+    assert 0.0 <= backdoored.attack_success_rate <= 1.0
+    assert backdoored.poisoning is not None
+
+
+def test_build_suspicious_pool_labels(context):
+    pool, labels = build_suspicious_pool(
+        context, "cifar10", "badnets", architecture="mlp", num_clean=1, num_backdoor=1
+    )
+    assert len(pool) == 2
+    assert labels == [0, 1]
+
+
+def test_bprom_detection_auroc_outputs(context):
+    metrics = bprom_detection_auroc(
+        context,
+        "cifar10",
+        "badnets",
+        architecture="mlp",
+        num_clean=1,
+        num_backdoor=1,
+        num_clean_shadows=1,
+        num_backdoor_shadows=1,
+    )
+    for key in ("auroc", "f1", "mean_clean_score", "mean_backdoor_score", "mean_asr"):
+        assert key in metrics
+    assert 0.0 <= metrics["auroc"] <= 1.0
+
+
+def test_format_table_and_merge_rows():
+    rows = [{"name": "a", "value": 1.234567}, {"name": "b", "value": 2.0}]
+    text = format_table(rows, title="demo")
+    assert "demo" in text
+    assert "1.235" in text
+    assert format_table([], title="empty").startswith("empty")
+    merged = merge_rows(rows, [{"name": "c", "value": 3.0}])
+    assert len(merged) == 3
+
+
+def test_compare_with_paper():
+    rows = compare_with_paper({"badnets": 0.9}, {"badnets": 1.0}, label="cifar10/")
+    assert rows[0]["paper"] == 1.0
+    assert rows[0]["setting"] == "cifar10/badnets"
+
+
+def test_paper_reference_tables_are_consistent():
+    assert paper_reference.TABLE5_AVERAGE_AUROC["bprom"]["cifar10"] == 1.0
+    assert set(paper_reference.TABLE9_POISON_RATE) == {0.05, 0.10, 0.20}
+    assert paper_reference.TABLE2_TARGET_CLASSES["cifar10"][1] > paper_reference.TABLE2_TARGET_CLASSES["cifar10"][3]
+    # the paper's trend: prompted accuracy decreases with trigger size
+    sizes = paper_reference.TABLE3_TRIGGER_SIZE["cifar10_blend"]
+    assert sizes[4] > sizes[16]

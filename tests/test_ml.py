@@ -1,0 +1,224 @@
+"""Tests for the from-scratch classic-ML components."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    CMAES,
+    KMeans,
+    LogisticRegression,
+    PCA,
+    RandomForestClassifier,
+    RandomSearch,
+    SPSA,
+    auroc,
+    f1_score,
+    precision_recall,
+    roc_curve,
+)
+from repro.ml.cma_es import build_blackbox_optimizer
+from repro.ml.metrics import best_f1_from_scores, confusion_counts, f1_from_scores
+from repro.ml.stats import (
+    gram_matrix_features,
+    mahalanobis_scores,
+    median_absolute_deviation,
+    spectral_scores,
+    top_singular_vector,
+    whiten,
+)
+from repro.ml.tree import DecisionTreeClassifier
+
+
+# -- metrics -------------------------------------------------------------------
+
+def test_auroc_perfect_and_inverted():
+    labels = np.array([0, 0, 1, 1])
+    assert auroc(np.array([0.1, 0.2, 0.8, 0.9]), labels) == 1.0
+    assert auroc(np.array([0.9, 0.8, 0.2, 0.1]), labels) == 0.0
+    assert auroc(np.array([0.5, 0.5, 0.5, 0.5]), labels) == 0.5
+
+
+def test_auroc_handles_ties_and_degenerate_labels():
+    labels = np.array([0, 1, 0, 1])
+    scores = np.array([0.3, 0.3, 0.1, 0.9])
+    value = auroc(scores, labels)
+    assert 0.5 < value <= 1.0
+    assert auroc(np.array([0.1, 0.2]), np.array([1, 1])) == 0.5
+
+
+def test_auroc_validates_inputs():
+    with pytest.raises(ValueError):
+        auroc(np.array([0.1, 0.2]), np.array([0, 2]))
+    with pytest.raises(ValueError):
+        auroc(np.array([]), np.array([]))
+
+
+def test_roc_curve_endpoints():
+    labels = np.array([0, 1, 0, 1, 1])
+    scores = np.array([0.1, 0.9, 0.4, 0.8, 0.3])
+    fpr, tpr, thresholds = roc_curve(scores, labels)
+    assert fpr[0] == 0.0 and tpr[0] == 0.0
+    assert fpr[-1] == pytest.approx(1.0)
+    assert tpr[-1] == pytest.approx(1.0)
+    assert len(fpr) == len(tpr) == len(thresholds)
+
+
+def test_f1_and_precision_recall():
+    predictions = np.array([1, 1, 0, 0, 1])
+    labels = np.array([1, 0, 0, 1, 1])
+    precision, recall = precision_recall(predictions, labels)
+    assert precision == pytest.approx(2 / 3)
+    assert recall == pytest.approx(2 / 3)
+    assert f1_score(predictions, labels) == pytest.approx(2 / 3)
+    tp, fp, tn, fn = confusion_counts(predictions, labels)
+    assert (tp, fp, tn, fn) == (2, 1, 1, 1)
+
+
+def test_f1_from_scores_threshold_behaviour():
+    labels = np.array([0, 0, 1, 1])
+    scores = np.array([0.1, 0.4, 0.6, 0.9])
+    assert f1_from_scores(scores, labels, threshold=0.5) == 1.0
+    assert best_f1_from_scores(np.array([0.9, 0.8, 0.2, 0.1]), labels) > 0.0
+
+
+# -- trees and forests --------------------------------------------------------------
+
+def _separable_data(rng, n=60):
+    x0 = rng.normal(loc=-2.0, size=(n // 2, 3))
+    x1 = rng.normal(loc=2.0, size=(n // 2, 3))
+    features = np.vstack([x0, x1])
+    labels = np.array([0] * (n // 2) + [1] * (n // 2))
+    return features, labels
+
+
+def test_decision_tree_fits_separable_data(rng):
+    features, labels = _separable_data(rng)
+    tree = DecisionTreeClassifier(max_depth=4, rng=0).fit(features, labels)
+    assert np.mean(tree.predict(features) == labels) > 0.95
+    assert tree.depth() >= 1
+    proba = tree.predict_proba(features)
+    assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+def test_decision_tree_input_validation(rng):
+    tree = DecisionTreeClassifier()
+    with pytest.raises(ValueError):
+        tree.fit(np.zeros((3,)), np.zeros(3, dtype=int))
+    with pytest.raises(RuntimeError):
+        DecisionTreeClassifier().predict(np.zeros((2, 3)))
+
+
+def test_random_forest_accuracy_and_probabilities(rng):
+    features, labels = _separable_data(rng, n=80)
+    forest = RandomForestClassifier(n_estimators=15, max_depth=4, rng=0).fit(features, labels)
+    assert forest.score(features, labels) > 0.95
+    proba = forest.predict_proba(features)
+    assert proba.shape == (80, 2)
+    assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+def test_random_forest_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        RandomForestClassifier(n_estimators=0)
+
+
+def test_logistic_regression_learns_linear_boundary(rng):
+    features, labels = _separable_data(rng, n=100)
+    model = LogisticRegression(iterations=300, rng=0).fit(features, labels)
+    assert model.score(features, labels) > 0.95
+    proba = model.predict_proba(features)
+    assert proba.min() >= 0.0 and proba.max() <= 1.0
+
+
+def test_kmeans_recovers_two_blobs(rng):
+    features, labels = _separable_data(rng, n=60)
+    clusters = KMeans(n_clusters=2, rng=0).fit_predict(features)
+    # clusters should align with the blobs up to permutation
+    agreement = max(
+        np.mean(clusters == labels), np.mean(clusters == 1 - labels)
+    )
+    assert agreement > 0.95
+
+
+def test_pca_recovers_dominant_direction(rng):
+    direction = np.array([1.0, 0.0, 0.0])
+    data = rng.normal(size=(200, 1)) * 5 * direction + rng.normal(scale=0.1, size=(200, 3))
+    pca = PCA(n_components=2).fit(data)
+    assert abs(pca.components_[0] @ direction) > 0.99
+    transformed = pca.transform(data)
+    assert transformed.shape == (200, 2)
+    reconstructed = pca.inverse_transform(transformed)
+    assert reconstructed.shape == data.shape
+    assert pca.explained_variance_ratio_[0] > 0.9
+
+
+# -- optimisers ------------------------------------------------------------------------
+
+QUADRATIC_TARGET = np.array([1.0, -2.0, 0.5, 3.0])
+
+
+def _quadratic(x):
+    return float(np.sum((x - QUADRATIC_TARGET) ** 2))
+
+
+@pytest.mark.parametrize(
+    "optimizer",
+    [
+        CMAES(iterations=60, population=8, sigma=0.5, rng=0),
+        SPSA(iterations=400, learning_rate=0.3, perturbation=0.1, rng=0),
+        RandomSearch(iterations=400, sigma=0.5, rng=0),
+    ],
+    ids=["cmaes", "spsa", "random"],
+)
+def test_blackbox_optimizers_minimise_quadratic(optimizer):
+    result = optimizer.minimize(_quadratic, np.zeros(4))
+    assert result.best_value < _quadratic(np.zeros(4))
+    assert result.best_value < 2.0
+    assert result.evaluations > 0
+    assert len(result.history) > 1
+    assert result.history[-1] <= result.history[0]
+
+
+def test_blackbox_optimizer_factory():
+    assert isinstance(build_blackbox_optimizer("cma-es", 10), CMAES)
+    assert isinstance(build_blackbox_optimizer("spsa", 10), SPSA)
+    assert isinstance(build_blackbox_optimizer("random", 10), RandomSearch)
+    with pytest.raises(ValueError):
+        build_blackbox_optimizer("newton", 10)
+
+
+# -- stats helpers ---------------------------------------------------------------------
+
+def test_spectral_scores_flag_outlier_direction(rng):
+    inliers = rng.normal(size=(50, 4))
+    outliers = rng.normal(size=(5, 4)) + np.array([8.0, 0, 0, 0])
+    data = np.vstack([inliers, outliers])
+    scores = spectral_scores(data)
+    assert scores[-5:].mean() > scores[:50].mean()
+    direction = top_singular_vector(data)
+    assert abs(direction[0]) > 0.8
+
+
+def test_whiten_produces_identity_covariance(rng):
+    data = rng.normal(size=(300, 3)) @ np.array([[2.0, 0, 0], [0.5, 1.0, 0], [0, 0, 0.2]])
+    whitened, _, _ = whiten(data)
+    covariance = np.cov(whitened.T)
+    assert np.allclose(covariance, np.eye(3), atol=0.2)
+
+
+def test_mad_and_mahalanobis(rng):
+    values = rng.normal(size=500)
+    mad = median_absolute_deviation(values)
+    assert 0.7 < mad < 1.3
+    data = rng.normal(size=(100, 3))
+    scores = mahalanobis_scores(data)
+    assert scores.shape == (100,)
+    assert np.all(scores >= 0)
+
+
+def test_gram_matrix_features_shape(rng):
+    features = rng.normal(size=(20, 8))
+    grams = gram_matrix_features(features, orders=(1, 2))
+    assert grams.shape == (20, 4)

@@ -1,0 +1,104 @@
+"""Tests for the model zoo and the ImageClassifier wrapper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import TrainingConfig
+from repro.models import (
+    ImageClassifier,
+    available_architectures,
+    build_classifier,
+    build_model,
+)
+
+ARCHITECTURES = ["resnet18", "mobilenetv2", "mobilevit", "mlp"]
+
+
+@pytest.mark.parametrize("architecture", ARCHITECTURES)
+def test_model_forward_backward_shapes(architecture, rng):
+    model = build_model(architecture, num_classes=4, image_size=12, rng=0)
+    x = rng.random((3, 3, 12, 12))
+    logits = model(x)
+    assert logits.shape == (3, 4)
+    grad = model.backward(np.ones_like(logits))
+    assert grad.shape == x.shape
+
+
+@pytest.mark.parametrize("architecture", ARCHITECTURES)
+def test_model_features_shape(architecture, rng):
+    model = build_model(architecture, num_classes=4, image_size=12, rng=0)
+    features = model.features(rng.random((5, 3, 12, 12)))
+    assert features.shape == (5, model.feature_dim)
+
+
+@pytest.mark.parametrize("architecture", ARCHITECTURES)
+def test_model_training_reduces_loss(architecture, tiny_dataset):
+    classifier = build_classifier(architecture, tiny_dataset.num_classes, 12, rng=0)
+    history = classifier.fit(
+        tiny_dataset, TrainingConfig(epochs=4, batch_size=16, learning_rate=1e-2), rng=1
+    )
+    assert history.losses[-1] < history.losses[0]
+    assert 0.0 <= history.final_train_accuracy <= 1.0
+
+
+def test_registry_aliases_map_to_families():
+    assert type(build_model("resnet", 3, 12)).__name__ == "TinyResNet"
+    assert type(build_model("swin", 3, 12)).__name__ == "TinyViT"
+    assert type(build_model("mobilenet", 3, 12)).__name__ == "TinyMobileNet"
+    with pytest.raises(ValueError):
+        build_model("alexnet", 3, 12)
+    assert "resnet18" in available_architectures()
+
+
+def test_classifier_predictions_are_consistent(trained_mlp, tiny_test_dataset):
+    proba = trained_mlp.predict_proba(tiny_test_dataset.images)
+    assert proba.shape == (len(tiny_test_dataset), tiny_test_dataset.num_classes)
+    assert np.allclose(proba.sum(axis=1), 1.0)
+    predictions = trained_mlp.predict(tiny_test_dataset.images)
+    assert np.array_equal(predictions, np.argmax(proba, axis=1))
+    accuracy = trained_mlp.evaluate(tiny_test_dataset)
+    assert accuracy > 0.5  # the tiny task is learnable
+
+
+def test_classifier_evaluate_attack_success(trained_mlp, tiny_test_dataset):
+    target = 0
+    asr_all = trained_mlp.evaluate_attack_success(tiny_test_dataset.images, target)
+    asr_excluding = trained_mlp.evaluate_attack_success(
+        tiny_test_dataset.images, target, tiny_test_dataset.labels
+    )
+    assert 0.0 <= asr_all <= 1.0
+    assert 0.0 <= asr_excluding <= 1.0
+
+
+def test_classifier_rejects_unknown_optimizer(tiny_dataset):
+    classifier = build_classifier("mlp", tiny_dataset.num_classes, 12, rng=0)
+    with pytest.raises(ValueError):
+        classifier.fit(tiny_dataset, TrainingConfig(epochs=1, optimizer="lbfgs"))
+
+
+def test_training_history_val_accuracy(tiny_dataset, tiny_test_dataset):
+    classifier = build_classifier("mlp", tiny_dataset.num_classes, 12, rng=0)
+    history = classifier.fit(
+        tiny_dataset,
+        TrainingConfig(epochs=2, batch_size=16, learning_rate=1e-2),
+        rng=0,
+        val_dataset=tiny_test_dataset,
+    )
+    assert len(history.val_accuracies) == 2
+
+
+def test_classifier_batched_prediction_matches_single_batch(trained_mlp, tiny_test_dataset):
+    full = trained_mlp.predict_logits(tiny_test_dataset.images, batch_size=1000)
+    chunked = trained_mlp.predict_logits(tiny_test_dataset.images, batch_size=7)
+    assert np.allclose(full, chunked)
+
+
+def test_image_classifier_wraps_any_module(rng):
+    from repro.models.mlp import MLPNet
+
+    model = MLPNet(num_classes=3, input_dim=3 * 12 * 12, rng=0)
+    classifier = ImageClassifier(model, num_classes=3, name="custom")
+    logits = classifier.predict_logits(rng.random((2, 3, 12, 12)))
+    assert logits.shape == (2, 3)

@@ -1,0 +1,260 @@
+"""Unit tests for the numpy NN framework: gradients, shapes, optimisers, losses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.functional import (
+    accuracy,
+    col2im,
+    im2col,
+    log_softmax,
+    one_hot,
+    softmax,
+)
+
+
+def numerical_input_gradient_check(module, x, rng, tolerance=1e-4, probes=4):
+    """Compare analytic input gradients against central finite differences."""
+    output = module(x)
+    upstream = rng.normal(size=output.shape)
+    analytic = module.backward(upstream)
+    eps = 1e-5
+    for _ in range(probes):
+        index = tuple(int(rng.integers(0, s)) for s in x.shape)
+        plus = x.copy()
+        plus[index] += eps
+        minus = x.copy()
+        minus[index] -= eps
+        numeric = (float(np.sum(module(plus) * upstream)) - float(np.sum(module(minus) * upstream))) / (2 * eps)
+        assert abs(analytic[index] - numeric) < tolerance * (1 + abs(numeric))
+
+
+LAYER_CASES = [
+    ("linear", lambda: nn.Linear(6, 4, rng=1), (3, 6)),
+    ("linear-3d", lambda: nn.Linear(6, 4, rng=1), (2, 5, 6)),
+    ("conv", lambda: nn.Conv2d(3, 4, 3, padding=1, rng=1), (2, 3, 8, 8)),
+    ("conv-stride", lambda: nn.Conv2d(3, 4, 3, stride=2, padding=1, rng=1), (2, 3, 8, 8)),
+    ("conv-depthwise", lambda: nn.Conv2d(4, 4, 3, padding=1, groups=4, rng=1), (2, 4, 6, 6)),
+    ("conv-grouped", lambda: nn.Conv2d(4, 6, 3, stride=2, padding=1, groups=2, rng=1), (2, 4, 8, 8)),
+    ("bn2d", lambda: nn.BatchNorm2d(3), (4, 3, 5, 5)),
+    ("bn1d", lambda: nn.BatchNorm1d(6), (8, 6)),
+    ("layernorm", lambda: nn.LayerNorm(8), (2, 5, 8)),
+    ("relu", lambda: nn.ReLU(), (3, 4, 5)),
+    ("leaky", lambda: nn.LeakyReLU(0.1), (3, 4, 5)),
+    ("gelu", lambda: nn.GELU(), (3, 4, 5)),
+    ("sigmoid", lambda: nn.Sigmoid(), (3, 4)),
+    ("tanh", lambda: nn.Tanh(), (3, 4)),
+    ("maxpool", lambda: nn.MaxPool2d(2), (2, 3, 8, 8)),
+    ("avgpool", lambda: nn.AvgPool2d(2), (2, 3, 8, 8)),
+    ("gap", lambda: nn.GlobalAvgPool2d(), (2, 3, 8, 8)),
+    ("flatten", lambda: nn.Flatten(), (2, 3, 4, 4)),
+    ("attention", lambda: nn.MultiHeadSelfAttention(8, 2, rng=1), (2, 5, 8)),
+    ("patchembed", lambda: nn.PatchEmbedding(8, 4, 3, 8, rng=1), (2, 3, 8, 8)),
+]
+
+
+@pytest.mark.parametrize("name,layer_factory,shape", LAYER_CASES, ids=[c[0] for c in LAYER_CASES])
+def test_layer_gradient_matches_finite_differences(name, layer_factory, shape, rng):
+    layer = layer_factory()
+    x = rng.normal(size=shape)
+    numerical_input_gradient_check(layer, x, rng)
+
+
+@pytest.mark.parametrize("name,layer_factory,shape", LAYER_CASES, ids=[c[0] for c in LAYER_CASES])
+def test_layer_backward_shape_matches_input(name, layer_factory, shape, rng):
+    layer = layer_factory()
+    x = rng.normal(size=shape)
+    out = layer(x)
+    grad_in = layer.backward(rng.normal(size=out.shape))
+    assert grad_in.shape == x.shape
+
+
+def test_linear_parameter_gradients_accumulate(rng):
+    layer = nn.Linear(4, 3, rng=0)
+    x = rng.normal(size=(5, 4))
+    layer.zero_grad()
+    out = layer(x)
+    layer.backward(np.ones_like(out))
+    first = layer.weight.grad.copy()
+    layer(x)
+    layer.backward(np.ones_like(out))
+    assert np.allclose(layer.weight.grad, 2 * first)
+
+
+def test_conv_rejects_bad_group_configuration():
+    with pytest.raises(ValueError):
+        nn.Conv2d(3, 4, 3, groups=2)
+
+
+def test_batchnorm_updates_running_statistics(rng):
+    bn = nn.BatchNorm2d(3)
+    x = rng.normal(2.0, 3.0, size=(16, 3, 4, 4))
+    bn.train()
+    bn(x)
+    assert not np.allclose(bn.get_buffer("running_mean"), 0.0)
+    bn.eval()
+    out_eval = bn(x)
+    assert out_eval.shape == x.shape
+
+
+def test_dropout_identity_in_eval_mode(rng):
+    dropout = nn.Dropout(0.5, rng=0)
+    x = rng.normal(size=(10, 10))
+    dropout.eval()
+    assert np.allclose(dropout(x), x)
+    dropout.train()
+    dropped = dropout(x)
+    assert not np.allclose(dropped, x)
+
+
+def test_sequential_runs_layers_in_order(rng):
+    model = nn.Sequential(nn.Linear(4, 8, rng=0), nn.ReLU(), nn.Linear(8, 2, rng=1))
+    x = rng.normal(size=(3, 4))
+    out = model(x)
+    assert out.shape == (3, 2)
+    grad = model.backward(np.ones_like(out))
+    assert grad.shape == x.shape
+    assert len(model) == 3
+
+
+def test_module_freeze_blocks_optimizer_updates(rng):
+    layer = nn.Linear(4, 2, rng=0)
+    layer.freeze()
+    optimizer = nn.SGD(layer.parameters(), lr=0.1)
+    x = rng.normal(size=(3, 4))
+    out = layer(x)
+    before = layer.weight.data.copy()
+    layer.backward(np.ones_like(out))
+    optimizer.step()
+    assert np.allclose(layer.weight.data, before)
+
+
+def test_state_dict_round_trip(tmp_path, rng):
+    model = nn.Sequential(nn.Conv2d(3, 4, 3, padding=1, rng=0), nn.BatchNorm2d(4), nn.ReLU())
+    x = rng.normal(size=(2, 3, 6, 6))
+    model.train()
+    model(x)
+    path = tmp_path / "model.npz"
+    nn.save_state_dict(model, path)
+    other = nn.Sequential(nn.Conv2d(3, 4, 3, padding=1, rng=5), nn.BatchNorm2d(4), nn.ReLU())
+    nn.load_state_dict(other, path)
+    model.eval()
+    other.eval()
+    assert np.allclose(model(x), other(x))
+
+
+def test_load_state_dict_reports_missing_keys():
+    model = nn.Linear(3, 2, rng=0)
+    with pytest.raises(KeyError):
+        model.load_state_dict({"weight": np.zeros((2, 3))})
+
+
+@pytest.mark.parametrize("optimizer_name", ["sgd", "adam"])
+def test_optimizers_reduce_quadratic_loss(optimizer_name, rng):
+    param = nn.Parameter(rng.normal(size=(5,)))
+    optimizer = (
+        nn.SGD([param], lr=0.1, momentum=0.5)
+        if optimizer_name == "sgd"
+        else nn.Adam([param], lr=0.1)
+    )
+    initial = float(np.sum(param.data**2))
+    for _ in range(50):
+        optimizer.zero_grad()
+        param.accumulate_grad(2 * param.data)
+        optimizer.step()
+    assert float(np.sum(param.data**2)) < initial * 0.1
+
+
+def test_step_lr_and_cosine_lr_decay():
+    param = nn.Parameter(np.zeros(3))
+    optimizer = nn.SGD([param], lr=1.0)
+    scheduler = nn.StepLR(optimizer, step_size=2, gamma=0.1)
+    for _ in range(4):
+        scheduler.step()
+    assert optimizer.lr == pytest.approx(0.01)
+    optimizer2 = nn.Adam([param], lr=1.0)
+    cosine = nn.CosineLR(optimizer2, total_epochs=10)
+    for _ in range(10):
+        cosine.step()
+    assert optimizer2.lr == pytest.approx(0.0, abs=1e-9)
+
+
+def test_cross_entropy_matches_manual_computation(rng):
+    logits = rng.normal(size=(4, 3))
+    labels = np.array([0, 1, 2, 1])
+    criterion = nn.CrossEntropyLoss()
+    loss = criterion(logits, labels)
+    manual = -np.mean(log_softmax(logits)[np.arange(4), labels])
+    assert loss == pytest.approx(manual)
+    grad = criterion.backward()
+    assert grad.shape == logits.shape
+    # gradient rows sum to zero for hard labels
+    assert np.allclose(grad.sum(axis=1), 0.0, atol=1e-12)
+
+
+def test_cross_entropy_gradient_matches_finite_differences(rng):
+    logits = rng.normal(size=(3, 4))
+    labels = np.array([1, 0, 3])
+    criterion = nn.CrossEntropyLoss(label_smoothing=0.1)
+    criterion(logits, labels)
+    grad = criterion.backward()
+    eps = 1e-6
+    for index in [(0, 1), (2, 3), (1, 0)]:
+        plus = logits.copy()
+        plus[index] += eps
+        minus = logits.copy()
+        minus[index] -= eps
+        numeric = (criterion(plus, labels) - criterion(minus, labels)) / (2 * eps)
+        assert grad[index] == pytest.approx(numeric, rel=1e-4, abs=1e-6)
+
+
+def test_mse_loss_and_gradient(rng):
+    predictions = rng.normal(size=(4, 3))
+    targets = rng.normal(size=(4, 3))
+    criterion = nn.MSELoss()
+    loss = criterion(predictions, targets)
+    assert loss == pytest.approx(float(np.mean((predictions - targets) ** 2)))
+    grad = criterion.backward()
+    assert grad.shape == predictions.shape
+
+
+def test_softmax_rows_sum_to_one(rng):
+    logits = rng.normal(size=(6, 9)) * 20
+    probabilities = softmax(logits)
+    assert np.allclose(probabilities.sum(axis=1), 1.0)
+    assert np.all(probabilities >= 0)
+
+
+def test_one_hot_and_accuracy():
+    labels = np.array([0, 2, 1])
+    encoded = one_hot(labels, 3)
+    assert encoded.shape == (3, 3)
+    assert np.array_equal(np.argmax(encoded, axis=1), labels)
+    logits = np.array([[3.0, 0, 0], [0, 0, 5.0], [0, 1.0, 0]])
+    assert accuracy(logits, labels) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        one_hot(np.array([3]), 3)
+
+
+def test_im2col_col2im_are_adjoint(rng):
+    """<im2col(x), y> == <x, col2im(y)> — the defining adjoint property."""
+    x = rng.normal(size=(2, 3, 6, 6))
+    cols, out_h, out_w = im2col(x, kernel=3, stride=1, padding=1)
+    y = rng.normal(size=cols.shape)
+    lhs = float(np.sum(cols * y))
+    rhs = float(np.sum(x * col2im(y, x.shape, kernel=3, stride=1, padding=1)))
+    assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+def test_clip_grad_norm_scales_gradients(rng):
+    params = [nn.Parameter(rng.normal(size=(4,))) for _ in range(3)]
+    for param in params:
+        param.accumulate_grad(rng.normal(size=(4,)) * 100)
+    from repro.nn.functional import clip_grad_norm
+
+    clip_grad_norm(params, max_norm=1.0)
+    total = np.sqrt(sum(float(np.sum(p.grad**2)) for p in params))
+    assert total <= 1.0 + 1e-9

@@ -1,0 +1,132 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.attacks.base import apply_trigger_formula
+from repro.datasets.base import ImageDataset
+from repro.ml.metrics import auroc, f1_score
+from repro.nn.functional import one_hot, softmax
+from repro.utils.rng import derive_seed, spawn_rngs
+
+FLOAT_IMAGES = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(
+        st.integers(1, 4), st.integers(1, 3), st.integers(2, 6), st.integers(2, 6)
+    ),
+    elements=st.floats(0.0, 1.0),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(images=FLOAT_IMAGES, alpha=st.floats(0.0, 1.0))
+def test_trigger_formula_output_always_in_range(images, alpha):
+    mask = np.ones(images.shape[1:])
+    trigger = np.full(images.shape[1:], 0.7)
+    out = apply_trigger_formula(images, mask, trigger, alpha=alpha)
+    assert out.shape == images.shape
+    assert out.min() >= 0.0 and out.max() <= 1.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(images=FLOAT_IMAGES)
+def test_zero_mask_is_identity(images):
+    mask = np.zeros(images.shape[1:])
+    trigger = np.ones(images.shape[1:])
+    out = apply_trigger_formula(images, mask, trigger, alpha=0.3)
+    assert np.allclose(out, np.clip(images, 0, 1))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    logits=hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 8), st.integers(2, 6)),
+        elements=st.floats(-30, 30),
+    )
+)
+def test_softmax_is_a_probability_distribution(logits):
+    probabilities = softmax(logits)
+    assert np.all(probabilities >= 0)
+    assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    scores=hnp.arrays(dtype=np.float64, shape=st.integers(2, 40), elements=st.floats(-5, 5)),
+    data=st.data(),
+)
+def test_auroc_is_invariant_to_monotone_transforms(scores, data):
+    labels = np.array(
+        data.draw(st.lists(st.integers(0, 1), min_size=len(scores), max_size=len(scores)))
+    )
+    if labels.sum() == 0 or labels.sum() == len(labels):
+        labels[0] = 1 - labels[0]
+    # quantise so the affine transform below cannot merge distinct scores
+    # through floating-point rounding (which would legitimately change AUROC)
+    scores = np.round(scores, 3)
+    base = auroc(scores, labels)
+    shifted = auroc(scores * 3.0 + 7.0, labels)
+    assert abs(base - shifted) < 1e-9
+    inverted = auroc(-scores, labels)
+    assert abs((1.0 - base) - inverted) < 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    predictions=hnp.arrays(dtype=np.int64, shape=st.integers(1, 30), elements=st.integers(0, 1)),
+    data=st.data(),
+)
+def test_f1_is_bounded(predictions, data):
+    labels = np.array(
+        data.draw(st.lists(st.integers(0, 1), min_size=len(predictions), max_size=len(predictions)))
+    )
+    value = f1_score(predictions, labels)
+    assert 0.0 <= value <= 1.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(labels=st.lists(st.integers(0, 4), min_size=1, max_size=30))
+def test_one_hot_round_trip(labels):
+    labels = np.array(labels)
+    encoded = one_hot(labels, 5)
+    assert np.array_equal(np.argmax(encoded, axis=1), labels)
+    assert np.allclose(encoded.sum(axis=1), 1.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(4, 40),
+    classes=st.integers(2, 5),
+    fraction=st.floats(0.1, 0.9),
+    seed=st.integers(0, 1000),
+)
+def test_dataset_split_preserves_samples(n, classes, fraction, seed):
+    rng = np.random.default_rng(seed)
+    dataset = ImageDataset(
+        rng.random((n, 3, 4, 4)), rng.integers(0, classes, size=n), num_classes=classes
+    )
+    split = dataset.split(fraction, rng=seed)
+    assert len(split.first) + len(split.second) == n
+    merged_labels = np.sort(np.concatenate([split.first.labels, split.second.labels]))
+    assert np.array_equal(merged_labels, np.sort(dataset.labels))
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1), count=st.integers(1, 8))
+def test_spawn_rngs_are_deterministic(seed, count):
+    first = [g.random() for g in spawn_rngs(seed, count)]
+    second = [g.random() for g in spawn_rngs(seed, count)]
+    assert first == second
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), salt=st.text(max_size=10))
+def test_derive_seed_is_stable_and_in_range(seed, salt):
+    a = derive_seed(seed, salt)
+    b = derive_seed(seed, salt)
+    assert a == b
+    assert 0 <= a < 2**31 - 1
