@@ -7,64 +7,83 @@ model-level screen; models flagged as backdoored are then subjected to
 input-level filtering (STRIP) at inference time, while clean models skip the
 per-input overhead — avoiding the false-positive cost shown in Table 1.
 
+The example runs on the staged pipeline runtime: the detector is fitted once
+(shadow training and prompting fan out over worker threads), persisted to
+disk, and the whole vendor catalogue is screened in one concurrent
+``AuditService.audit`` batch — the serve-many path a production audit
+endpoint would use.
+
 Run with:  python examples/mlaas_audit.py
 """
 
 from __future__ import annotations
 
-import numpy as np
+import tempfile
+from pathlib import Path
 
 from repro.attacks import attack_defaults, build_attack
-from repro.config import FAST
+from repro.config import FAST, RuntimeConfig
 from repro.core import BpromDetector
 from repro.datasets import load_dataset
 from repro.defenses import StripDefense
 from repro.defenses.base import triggered_and_clean_split
 from repro.models import build_classifier
+from repro.runtime import AuditService
 
 
 def build_vendor_models(profile, source_train, seed: int = 0):
     """Simulate a vendor catalogue: two clean models and two compromised ones."""
-    catalogue = []
+    catalogue = {}
+    attacks = {}
     for index in range(2):
-        model = build_classifier("resnet18", source_train.num_classes, profile.image_size, rng=seed + index, name=f"vendor-clean-{index}")
+        name = f"vendor-clean-{index}"
+        model = build_classifier("resnet18", source_train.num_classes, profile.image_size, rng=seed + index, name=name)
         model.fit(source_train, profile.classifier, rng=seed + 10 + index)
-        catalogue.append((f"vendor-clean-{index}", model, None))
+        catalogue[name] = model
     for index, attack_name in enumerate(("blend", "adaptive_patch")):
+        name = f"vendor-{attack_name}"
         attack = build_attack(attack_name, target_class=1, seed=seed + 20 + index)
         defaults = attack_defaults(attack_name)
         poisoning = attack.poison(source_train, poison_rate=defaults.poison_rate, cover_rate=defaults.cover_rate, rng=seed + 30 + index)
-        model = build_classifier("resnet18", source_train.num_classes, profile.image_size, rng=seed + 40 + index, name=f"vendor-{attack_name}")
+        model = build_classifier("resnet18", source_train.num_classes, profile.image_size, rng=seed + 40 + index, name=name)
         model.fit(poisoning.dataset, profile.classifier, rng=seed + 50 + index)
-        catalogue.append((f"vendor-{attack_name}", model, attack))
-    return catalogue
+        catalogue[name] = model
+        attacks[name] = attack
+    return catalogue, attacks
 
 
 def main() -> None:
     profile = FAST
+    runtime = RuntimeConfig(workers=4)
     source_train, source_test = load_dataset("cifar10", profile, seed=0)
     target_train, target_test = load_dataset("stl10", profile, seed=0)
 
     print("building the vendor catalogue (2 clean, 2 backdoored models) ...")
-    catalogue = build_vendor_models(profile, source_train)
+    catalogue, attacks = build_vendor_models(profile, source_train)
 
-    print("fitting BPROM once (reused for every vendor model) ...")
-    detector = BpromDetector(profile=profile, seed=0)
+    print("fitting BPROM once (shadow training / prompting fan out over 4 workers) ...")
+    detector = BpromDetector(profile=profile, seed=0, runtime=runtime)
     detector.fit(source_test, target_train, target_test)
 
-    print("\n--- audit report ---")
-    for name, model, attack in catalogue:
-        # the auditor only calls model.predict_proba — a black-box query interface
-        result = detector.inspect(model, query_function=model.predict_proba)
-        verdict = "REJECT / quarantine" if result.is_backdoored else "accept"
-        print(f"{name:24s} backdoor score {result.backdoor_score:.3f} -> {verdict}")
+    with tempfile.TemporaryDirectory() as scratch:
+        artifact = detector.save(Path(scratch) / "detector")
+        print(f"detector persisted to {artifact} — standing up the audit service from disk")
+        service = AuditService.from_saved(artifact, runtime=runtime)
 
-        if result.is_backdoored and attack is not None:
-            # second line of defense: per-input filtering on the quarantined model
-            strip = StripDefense(source_test, num_overlays=6, rng=0)
-            clean_images, triggered_images = triggered_and_clean_split(attack, source_test, max_samples=24, rng=0)
-            evaluation = strip.evaluate(model, clean_images, triggered_images)
-            print(f"{'':24s} STRIP input filter on quarantined model: AUROC {evaluation.auroc:.3f}")
+        # the auditor only calls model.predict_proba — a black-box query interface
+        query_functions = {name: model.predict_proba for name, model in catalogue.items()}
+        print("\n--- audit report (whole catalogue screened concurrently) ---")
+        for verdict in service.audit(catalogue, query_functions=query_functions):
+            action = "REJECT / quarantine" if verdict.is_backdoored else "accept"
+            print(f"{verdict.name:24s} backdoor score {verdict.backdoor_score:.3f} -> {action}")
+
+            if verdict.is_backdoored and verdict.name in attacks:
+                # second line of defense: per-input filtering on the quarantined model
+                attack = attacks[verdict.name]
+                strip = StripDefense(source_test, num_overlays=6, rng=0)
+                clean_images, triggered_images = triggered_and_clean_split(attack, source_test, max_samples=24, rng=0)
+                evaluation = strip.evaluate(catalogue[verdict.name], clean_images, triggered_images)
+                print(f"{'':24s} STRIP input filter on quarantined model: AUROC {evaluation.auroc:.3f}")
 
 
 if __name__ == "__main__":

@@ -21,8 +21,9 @@ targets; absolute values differ because the substrate is scaled down.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict
+import os
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, Optional
 
 
 @dataclass(frozen=True)
@@ -182,3 +183,80 @@ def get_profile(name: str) -> ExperimentProfile:
         raise KeyError(
             f"unknown profile {name!r}; available: {sorted(PROFILES)}"
         ) from exc
+
+
+def profile_to_dict(profile: ExperimentProfile) -> Dict:
+    """JSON-serialisable representation of a profile (used in artifact keys)."""
+    return asdict(profile)
+
+
+def profile_from_dict(payload: Dict) -> ExperimentProfile:
+    """Inverse of :func:`profile_to_dict`."""
+    payload = dict(payload)
+    payload["classifier"] = TrainingConfig(**payload["classifier"])
+    payload["prompt"] = PromptConfig(**payload["prompt"])
+    return ExperimentProfile(**payload)
+
+
+# ---------------------------------------------------------------------------
+# runtime configuration
+# ---------------------------------------------------------------------------
+
+_RUNTIME_BACKENDS = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Execution knobs for the staged pipeline runtime (:mod:`repro.runtime`).
+
+    Orthogonal to :class:`ExperimentProfile`: the profile decides *what* is
+    trained, the runtime config decides *how* — how many workers fan out the
+    shadow/suspicious training and prompting, and whether expensive artefacts
+    are persisted to disk so they survive a process restart.
+    """
+
+    #: number of concurrent workers for the embarrassingly-parallel stages;
+    #: 1 means fully sequential execution
+    workers: int = 1
+    #: "thread" (shares memory, relies on numpy releasing the GIL),
+    #: "process" (true parallelism, pays pickling overhead) or "serial"
+    backend: str = "thread"
+    #: root directory of the persistent artifact store; ``None`` disables
+    #: disk caching entirely
+    cache_dir: Optional[str] = None
+    #: master switch for the artifact store (lets callers keep a cache_dir
+    #: configured but bypass it, e.g. to force retraining)
+    cache: bool = True
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.backend not in _RUNTIME_BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; available: {_RUNTIME_BACKENDS}"
+            )
+
+    @property
+    def parallel(self) -> bool:
+        return self.workers > 1 and self.backend != "serial"
+
+    @property
+    def persistent(self) -> bool:
+        return self.cache and self.cache_dir is not None
+
+    def with_overrides(self, **kwargs) -> "RuntimeConfig":
+        return replace(self, **kwargs)
+
+    @classmethod
+    def from_env(cls) -> "RuntimeConfig":
+        """Build a runtime config from ``REPRO_WORKERS`` / ``REPRO_BACKEND`` /
+        ``REPRO_CACHE_DIR`` environment variables (benchmark/CI convenience)."""
+        return cls(
+            workers=int(os.environ.get("REPRO_WORKERS", "1")),
+            backend=os.environ.get("REPRO_BACKEND", "thread"),
+            cache_dir=os.environ.get("REPRO_CACHE_DIR") or None,
+            cache=os.environ.get("REPRO_CACHE", "1") != "0",
+        )
+
+
+DEFAULT_RUNTIME = RuntimeConfig()

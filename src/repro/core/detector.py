@@ -1,13 +1,34 @@
-"""BpromDetector — the end-to-end public API of the reproduction."""
+"""BpromDetector — the end-to-end public API of the reproduction.
+
+``fit`` runs the BPROM training pipeline (shadow -> prompt -> meta) on the
+staged runtime from :mod:`repro.runtime`: the shadow-training and prompting
+stages fan out over a :class:`~repro.runtime.executor.ParallelExecutor` and
+are individually cached in a persistent
+:class:`~repro.runtime.store.ArtifactStore` when a
+:class:`~repro.config.RuntimeConfig` with a cache directory is supplied.  A
+fitted detector round-trips through :meth:`save`/:meth:`load` with
+bit-identical scores, which is what allows one training run to serve many
+audit requests across processes (see :class:`repro.runtime.service.AuditService`).
+"""
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from functools import partial
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.config import ExperimentProfile, FAST
+from repro.config import (
+    DEFAULT_RUNTIME,
+    ExperimentProfile,
+    FAST,
+    RuntimeConfig,
+    profile_from_dict,
+    profile_to_dict,
+)
 from repro.core.meta import MetaClassifier
 from repro.core.prompting_stage import prompt_shadow_models, prompt_suspicious_model
 from repro.core.shadow import ShadowModel, ShadowModelFactory
@@ -15,7 +36,19 @@ from repro.datasets.base import ImageDataset
 from repro.models.classifier import ImageClassifier
 from repro.prompting.blackbox import QueryFunction
 from repro.prompting.prompted import PromptedClassifier
-from repro.utils.rng import SeedLike, derive_seed
+from repro.runtime.executor import ParallelExecutor
+from repro.runtime.pipeline import Stage, StagedPipeline
+from repro.runtime.store import (
+    Artifact,
+    ArtifactStore,
+    dataset_fingerprint,
+    state_fingerprint,
+)
+from repro.runtime import serialization as ser
+from repro.utils.rng import SeedLike, derive_seed, normalize_seed
+
+#: bump when the saved-detector layout changes incompatibly
+DETECTOR_FORMAT_VERSION = 1
 
 
 @dataclass
@@ -29,7 +62,26 @@ class DetectionResult:
     #: accuracy of the prompted suspicious model on the target task
     prompted_accuracy: float
     #: the prompted suspicious model, for further analysis
-    prompted_model: PromptedClassifier = field(repr=False, default=None)
+    prompted_model: Optional[PromptedClassifier] = field(repr=False, default=None)
+
+
+def _shadow_pool_fingerprint(pool: Sequence[ShadowModel]) -> str:
+    """Content digest of a shadow pool (weights + labels), for prompt-stage keys."""
+    digest = hashlib.sha256()
+    for shadow in pool:
+        digest.update(b"1" if shadow.is_backdoored else b"0")
+        digest.update(state_fingerprint(shadow.classifier.state_dict()).encode("utf-8"))
+    return digest.hexdigest()[:20]
+
+
+def _inspect_task(
+    detector: "BpromDetector",
+    target_eval: Optional[ImageDataset],
+    item: Tuple[ImageClassifier, Optional[QueryFunction]],
+) -> DetectionResult:
+    """Module-level task wrapper so process-backend executors can pickle it."""
+    suspicious, query_function = item
+    return detector.inspect(suspicious, query_function=query_function, target_eval=target_eval)
 
 
 class BpromDetector:
@@ -46,7 +98,8 @@ class BpromDetector:
     ``fit`` implements the three training steps of Algorithm 1 (shadow-model
     generation, prompting and meta-model training); ``inspect`` prompts the
     suspicious model with a gradient-free optimiser and feeds its query
-    confidence vectors to the meta-classifier.
+    confidence vectors to the meta-classifier.  ``runtime`` controls worker
+    fan-out and persistent caching of the expensive stages.
     """
 
     def __init__(
@@ -58,12 +111,16 @@ class BpromDetector:
         meta_classifier_kind: str = "random_forest",
         meta_augmentation: int = 8,
         seed: SeedLike = 0,
+        runtime: Optional[RuntimeConfig] = None,
     ) -> None:
         self.profile = profile or FAST
         self.architecture = architecture
         self.shadow_attack = shadow_attack
         self.threshold = float(threshold)
-        self.seed = seed if isinstance(seed, int) else 0
+        self.seed = normalize_seed(seed)
+        self.runtime = runtime or DEFAULT_RUNTIME
+        self.meta_classifier_kind = meta_classifier_kind
+        self.meta_augmentation = int(meta_augmentation)
         self.meta_classifier = MetaClassifier(
             query_samples=self.profile.query_samples,
             num_trees=self.profile.meta_trees,
@@ -75,8 +132,19 @@ class BpromDetector:
         self.prompted_shadows: List[PromptedClassifier] = []
         self._target_train: Optional[ImageDataset] = None
         self._fitted = False
+        self._store = ArtifactStore.from_config(self.runtime)
+        self._executor = ParallelExecutor.from_config(self.runtime)
 
     # -- training -----------------------------------------------------------------
+    def _base_key(self, reserved_clean: Optional[ImageDataset]) -> dict:
+        return {
+            "profile": profile_to_dict(self.profile),
+            "architecture": self.architecture,
+            "shadow_attack": self.shadow_attack,
+            "seed": self.seed,
+            "reserved": dataset_fingerprint(reserved_clean) if reserved_clean is not None else None,
+        }
+
     def fit(
         self,
         reserved_clean: ImageDataset,
@@ -99,31 +167,162 @@ class BpromDetector:
             used by the evaluation harness to share shadow pools across
             experiments.
         """
-        if shadow_models is None:
+        self._target_train = target_train
+        base_key = self._base_key(reserved_clean)
+
+        def build_shadows(_results) -> List[ShadowModel]:
+            if shadow_models is not None:
+                return list(shadow_models)
             factory = ShadowModelFactory(
                 profile=self.profile,
                 architecture=self.architecture,
                 shadow_attack=self.shadow_attack,
                 seed=derive_seed(self.seed, "shadows"),
             )
-            self.shadow_models = factory.build_pool(reserved_clean)
-        else:
-            self.shadow_models = list(shadow_models)
-        if not self.shadow_models:
+            return factory.build_pool(reserved_clean, executor=self._executor)
+
+        def build_prompts(results) -> List[PromptedClassifier]:
+            return prompt_shadow_models(
+                results["shadow"],
+                target_train,
+                profile=self.profile,
+                seed=derive_seed(self.seed, "prompting"),
+                executor=self._executor,
+            )
+
+        def build_meta(results) -> MetaClassifier:
+            self.meta_classifier.set_query_pool(target_test)
+            labels = [int(shadow.is_backdoored) for shadow in results["shadow"]]
+            self.meta_classifier.fit(results["prompt"], labels)
+            return self.meta_classifier
+
+        # the shadow stage is only addressable when this detector trains the
+        # pool itself; externally supplied pools are keyed by content instead
+        # (their fingerprint feeds the prompt-stage key below)
+        shadow_stage = Stage(
+            "shadow",
+            build=build_shadows,
+            kind="shadow-pool" if shadow_models is None else None,
+            key={**base_key, "stage": "shadow"} if shadow_models is None else None,
+            save=lambda artifact, pool: ser.save_shadow_pool(artifact, pool),
+            load=lambda artifact, _results: ser.load_shadow_pool(artifact),
+        )
+        pipeline = StagedPipeline([shadow_stage], store=self._store)
+        results = pipeline.run()
+        pool = results["shadow"]
+        if not pool:
             raise ValueError("cannot fit BPROM with an empty shadow-model pool")
 
-        self._target_train = target_train
-        self.prompted_shadows = prompt_shadow_models(
-            self.shadow_models,
-            target_train,
-            profile=self.profile,
-            seed=derive_seed(self.seed, "prompting"),
+        prompt_key = {
+            **base_key,
+            "stage": "prompt",
+            "target_train": dataset_fingerprint(target_train),
+            "shadow_pool": _shadow_pool_fingerprint(pool),
+        }
+        prompt_stage = Stage(
+            "prompt",
+            build=lambda r: build_prompts({"shadow": pool}),
+            kind="prompted-shadows",
+            key=prompt_key,
+            save=lambda artifact, prompted: ser.save_prompted_pool(artifact, prompted),
+            load=lambda artifact, _results: ser.load_prompted_pool(
+                artifact, [shadow.classifier for shadow in pool]
+            ),
         )
-        self.meta_classifier.set_query_pool(target_test)
-        labels = [int(shadow.is_backdoored) for shadow in self.shadow_models]
-        self.meta_classifier.fit(self.prompted_shadows, labels)
+        meta_stage = Stage(
+            "meta",
+            build=lambda r: build_meta({"shadow": pool, "prompt": r["prompt"]}),
+        )
+        tail = StagedPipeline([prompt_stage, meta_stage], store=self._store)
+        tail_results = tail.run()
+        pipeline.reports.extend(tail.reports)
+        self.stage_reports = pipeline.reports
+
+        self.shadow_models = pool
+        self.prompted_shadows = tail_results["prompt"]
         self._fitted = True
         return self
+
+    # -- persistence ----------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> Path:
+        """Persist the fitted detector (meta-classifier, prompts, query pool).
+
+        The saved artifact contains everything needed to serve
+        :meth:`inspect` after :meth:`load` — the fitted meta-classifier with
+        its query pool and query subsets, the prompt-training dataset
+        ``D_T`` and the detector configuration — plus the learned shadow
+        prompts for analysis.  The shadow classifiers themselves are not
+        stored (they are training-time artefacts, cached separately by the
+        artifact store).
+        """
+        if not self._fitted:
+            raise RuntimeError("only a fitted detector can be saved")
+        directory = Path(path)
+        directory.mkdir(parents=True, exist_ok=True)
+        artifact = Artifact(directory)
+        artifact.save_json(
+            "detector",
+            {
+                "format_version": DETECTOR_FORMAT_VERSION,
+                "profile": profile_to_dict(self.profile),
+                "architecture": self.architecture,
+                "shadow_attack": self.shadow_attack,
+                "threshold": self.threshold,
+                "meta_classifier_kind": self.meta_classifier_kind,
+                "meta_augmentation": self.meta_augmentation,
+                "seed": self.seed,
+                "shadow_labels": [int(s.is_backdoored) for s in self.shadow_models],
+            },
+        )
+        ser.save_meta_classifier(artifact, self.meta_classifier)
+        ser.save_dataset(artifact, self._target_train, name="target_train")
+        if self.prompted_shadows:
+            ser.save_prompted_pool(artifact, self.prompted_shadows)
+        return directory
+
+    @classmethod
+    def load(
+        cls,
+        path: Union[str, Path],
+        runtime: Optional[RuntimeConfig] = None,
+        shadow_models: Optional[Sequence[ShadowModel]] = None,
+    ) -> "BpromDetector":
+        """Restore a detector saved by :meth:`save`; scores are bit-identical.
+
+        The restored detector serves :meth:`inspect` / :meth:`inspect_many`
+        immediately.  Shadow classifiers are not part of the artifact; pass
+        ``shadow_models`` (e.g. a pool reloaded from the artifact store) to
+        reattach them — the saved prompts are then rebound to their source
+        classifiers, restoring ``prompted_shadows`` as well.  Without it,
+        both lists are empty and :meth:`fit` would retrain from scratch.
+        """
+        artifact = Artifact(Path(path))
+        meta = artifact.load_json("detector")
+        if meta["format_version"] != DETECTOR_FORMAT_VERSION:
+            raise ValueError(
+                f"saved detector has format {meta['format_version']}, "
+                f"expected {DETECTOR_FORMAT_VERSION}"
+            )
+        detector = cls(
+            profile=profile_from_dict(meta["profile"]),
+            architecture=meta["architecture"],
+            shadow_attack=meta["shadow_attack"],
+            threshold=meta["threshold"],
+            meta_classifier_kind=meta["meta_classifier_kind"],
+            meta_augmentation=meta["meta_augmentation"],
+            seed=meta["seed"],
+            runtime=runtime,
+        )
+        detector.meta_classifier = ser.load_meta_classifier(artifact)
+        detector._target_train = ser.load_dataset(artifact, name="target_train")
+        if shadow_models is not None:
+            detector.shadow_models = list(shadow_models)
+            if artifact.has("prompts"):
+                detector.prompted_shadows = ser.load_prompted_pool(
+                    artifact, [shadow.classifier for shadow in detector.shadow_models]
+                )
+        detector._fitted = True
+        return detector
 
     # -- inspection -----------------------------------------------------------------
     def prompt_suspicious(
@@ -162,9 +361,34 @@ class BpromDetector:
             prompted_model=prompted,
         )
 
+    def inspect_many(
+        self,
+        suspicious_models: Sequence[ImageClassifier],
+        query_functions: Optional[Sequence[Optional[QueryFunction]]] = None,
+        target_eval: Optional[ImageDataset] = None,
+        executor: Optional[ParallelExecutor] = None,
+    ) -> List[DetectionResult]:
+        """Inspect a fleet of suspicious models, prompting them concurrently.
+
+        Every model's black-box prompting seed is derived from its name, so
+        the results are identical to calling :meth:`inspect` sequentially —
+        the fan-out only changes wall-clock time.
+        """
+        if not self._fitted:
+            raise RuntimeError("fit must be called before inspecting models")
+        if query_functions is not None and len(query_functions) != len(suspicious_models):
+            raise ValueError("query_functions and suspicious_models disagree on length")
+        if query_functions is None:
+            query_functions = [None] * len(suspicious_models)
+        executor = executor if executor is not None else self._executor
+        items = list(zip(suspicious_models, query_functions))
+        return executor.map(partial(_inspect_task, self, target_eval), items)
+
     def score_models(
         self,
         suspicious_models: Sequence[ImageClassifier],
+        executor: Optional[ParallelExecutor] = None,
     ) -> np.ndarray:
         """Backdoor scores for a batch of suspicious models (used for AUROC)."""
-        return np.array([self.inspect(model).backdoor_score for model in suspicious_models])
+        results = self.inspect_many(suspicious_models, executor=executor)
+        return np.array([result.backdoor_score for result in results])

@@ -140,3 +140,60 @@ class MetaClassifier:
     def predict(self, prompted: PromptedClassifier, threshold: float = 0.5) -> int:
         """1 if the model is predicted backdoored, 0 if clean."""
         return int(self.backdoor_score(prompted) >= threshold)
+
+    # -- persistence ------------------------------------------------------------------
+    def get_state(self):
+        """``(arrays, info)`` pair fully describing a fitted meta-classifier.
+
+        ``arrays`` is npz-friendly (query pool, query subsets and the fitted
+        model's numeric state); ``info`` is JSON-friendly configuration.  The
+        RNG is intentionally not captured: a restored meta-classifier serves
+        scores deterministically but is not meant to be re-fitted.
+        """
+        if self._model is None:
+            raise RuntimeError("only a fitted meta-classifier can be serialised")
+        queries = self._require_queries()
+        arrays = {
+            "query_subsets": queries,
+            "query_images": self.query_pool.images,
+            "query_labels": self.query_pool.labels,
+        }
+        for key, value in self._model.get_state().items():
+            arrays[f"model.{key}"] = value
+        info = {
+            "query_samples": self.query_samples,
+            "num_trees": self.num_trees,
+            "augmentation": self.augmentation,
+            "classifier_kind": self.classifier_kind,
+            "query_num_classes": self.query_pool.num_classes,
+            "query_name": self.query_pool.name,
+        }
+        return arrays, info
+
+    @classmethod
+    def from_state(cls, info, arrays) -> "MetaClassifier":
+        """Rebuild a fitted meta-classifier from :meth:`get_state` output."""
+        meta = cls(
+            query_samples=info["query_samples"],
+            num_trees=info["num_trees"],
+            augmentation=info["augmentation"],
+            classifier_kind=info["classifier_kind"],
+            rng=0,
+        )
+        meta.query_pool = ImageDataset(
+            arrays["query_images"],
+            arrays["query_labels"],
+            num_classes=info["query_num_classes"],
+            name=info["query_name"],
+        )
+        meta._query_subsets = np.asarray(arrays["query_subsets"], dtype=np.int64)
+        model_state = {
+            key.split(".", 1)[1]: value
+            for key, value in arrays.items()
+            if key.startswith("model.")
+        }
+        if info["classifier_kind"] == "random_forest":
+            meta._model = RandomForestClassifier.from_state(model_state)
+        else:
+            meta._model = LogisticRegression.from_state(model_state)
+        return meta

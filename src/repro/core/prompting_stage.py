@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from functools import partial
+from typing import List, Optional, Sequence, Tuple
 
 from repro.config import ExperimentProfile, FAST
 from repro.core.shadow import ShadowModel
@@ -14,7 +15,26 @@ from repro.prompting import (
     train_prompt_whitebox,
 )
 from repro.prompting.blackbox import QueryFunction
-from repro.utils.rng import SeedLike, derive_seed
+from repro.utils.rng import SeedLike, derive_seed, normalize_seed
+
+
+def _prompt_shadow_task(
+    target_train: ImageDataset,
+    profile: ExperimentProfile,
+    base_seed: int,
+    mapping_mode: str,
+    item: Tuple[int, ShadowModel],
+) -> PromptedClassifier:
+    """Module-level task wrapper so process-backend executors can pickle it."""
+    index, shadow = item
+    return train_prompt_whitebox(
+        shadow.classifier,
+        target_train,
+        config=profile.prompt,
+        mapping_mode=mapping_mode,
+        rng=derive_seed(base_seed, "prompt-shadow", index),
+        name=f"prompted-{shadow.classifier.name}",
+    )
 
 
 def prompt_shadow_models(
@@ -23,27 +43,22 @@ def prompt_shadow_models(
     profile: Optional[ExperimentProfile] = None,
     seed: SeedLike = 0,
     mapping_mode: str = "identity",
+    executor=None,
 ) -> List[PromptedClassifier]:
     """Learn a visual prompt for every shadow model on ``D_T`` (white-box).
 
     The defender owns the shadow models, so gradients are available; this is
-    the cheap part of BPROM and mirrors the paper exactly.
+    the cheap part of BPROM and mirrors the paper exactly.  Every prompt's
+    seed is derived from the shadow index, so running the fan-out on an
+    executor yields the same prompts as the sequential loop.
     """
     profile = profile or FAST
-    base_seed = seed if isinstance(seed, int) else 0
-    prompted: List[PromptedClassifier] = []
-    for index, shadow in enumerate(shadow_models):
-        prompted.append(
-            train_prompt_whitebox(
-                shadow.classifier,
-                target_train,
-                config=profile.prompt,
-                mapping_mode=mapping_mode,
-                rng=derive_seed(base_seed, "prompt-shadow", index),
-                name=f"prompted-{shadow.classifier.name}",
-            )
-        )
-    return prompted
+    base_seed = normalize_seed(seed)
+    task = partial(_prompt_shadow_task, target_train, profile, base_seed, mapping_mode)
+    items = list(enumerate(shadow_models))
+    if executor is None:
+        return [task(item) for item in items]
+    return executor.map(task, items)
 
 
 def prompt_suspicious_model(
@@ -57,7 +72,7 @@ def prompt_suspicious_model(
 ) -> PromptedClassifier:
     """Learn a visual prompt for the suspicious model using black-box queries only."""
     profile = profile or FAST
-    base_seed = seed if isinstance(seed, int) else 0
+    base_seed = normalize_seed(seed)
     return train_prompt_blackbox(
         suspicious,
         target_train,

@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from functools import partial
+from typing import List, Optional, Sequence, Tuple
 
 from repro.attacks.base import BackdoorAttack
 from repro.attacks.registry import attack_defaults, build_attack
@@ -11,7 +12,7 @@ from repro.config import ExperimentProfile, FAST
 from repro.datasets.base import ImageDataset
 from repro.models.classifier import ImageClassifier
 from repro.models.registry import build_classifier
-from repro.utils.rng import SeedLike, derive_seed, new_rng
+from repro.utils.rng import SeedLike, derive_seed, new_rng, normalize_seed
 
 
 @dataclass
@@ -50,7 +51,7 @@ class ShadowModelFactory:
         self.profile = profile or FAST
         self.architecture = architecture
         self.shadow_attack = shadow_attack
-        self.seed = seed if isinstance(seed, int) else 0
+        self.seed = normalize_seed(seed)
 
     # -- individual builders ---------------------------------------------------
     def train_clean_shadow(
@@ -116,18 +117,45 @@ class ShadowModelFactory:
         num_clean: Optional[int] = None,
         num_backdoor: Optional[int] = None,
         attacks: Optional[Sequence[BackdoorAttack]] = None,
+        executor=None,
     ) -> List[ShadowModel]:
-        """Train the full pool of shadow models (clean ones first)."""
+        """Train the full pool of shadow models (clean ones first).
+
+        Each shadow model's seed is derived from its (kind, index) identity,
+        so fanning the pool out over a :class:`repro.runtime.ParallelExecutor`
+        produces exactly the same pool as the sequential loop.
+        """
         num_clean = num_clean if num_clean is not None else self.profile.clean_shadow_models
         num_backdoor = (
             num_backdoor if num_backdoor is not None else self.profile.backdoor_shadow_models
         )
-        pool: List[ShadowModel] = []
-        for index in range(num_clean):
-            pool.append(self.train_clean_shadow(reserved_clean, index))
+        specs: List[Tuple[str, int, Optional[BackdoorAttack]]] = [
+            ("clean", index, None) for index in range(num_clean)
+        ]
         for index in range(num_backdoor):
             attack = None
             if attacks is not None and len(attacks) > 0:
                 attack = attacks[index % len(attacks)]
-            pool.append(self.train_backdoor_shadow(reserved_clean, index, attack=attack))
-        return pool
+            specs.append(("backdoor", index, attack))
+        if executor is None:
+            return [self._train_one(reserved_clean, spec) for spec in specs]
+        return executor.map(partial(_train_shadow_task, self, reserved_clean), specs)
+
+    def _train_one(
+        self,
+        reserved_clean: ImageDataset,
+        spec: Tuple[str, int, Optional[BackdoorAttack]],
+    ) -> ShadowModel:
+        kind, index, attack = spec
+        if kind == "clean":
+            return self.train_clean_shadow(reserved_clean, index)
+        return self.train_backdoor_shadow(reserved_clean, index, attack=attack)
+
+
+def _train_shadow_task(
+    factory: ShadowModelFactory,
+    reserved_clean: ImageDataset,
+    spec: Tuple[str, int, Optional[BackdoorAttack]],
+) -> ShadowModel:
+    """Module-level task wrapper so process-backend executors can pickle it."""
+    return factory._train_one(reserved_clean, spec)

@@ -1,24 +1,35 @@
-"""Shared experiment machinery: dataset/model caches and per-defense evaluation.
+"""Shared experiment machinery: artifact-backed caches and per-defense evaluation.
 
 Every experiment in :mod:`repro.eval.experiments` goes through an
-:class:`ExperimentContext`, which lazily builds and caches the expensive
-artefacts (datasets, trained suspicious models, fitted BPROM detectors,
-prompted suspicious models).  The cache is keyed on every parameter that
-affects the artefact, so experiments that share a configuration — e.g. the
-main table and the F1 table — reuse the same trained models instead of
-retraining them, which is what makes the full benchmark suite feasible on a
-single CPU core.
+:class:`ExperimentContext`, which lazily builds the expensive artefacts
+(datasets, trained suspicious models, shadow pools, fitted BPROM detectors,
+prompted suspicious models).  Caching is two-tier:
+
+* an in-memory memo (keyed on every parameter that affects the artefact)
+  preserves object identity within a process, so experiments that share a
+  configuration — e.g. the main table and the F1 table — reuse the same
+  trained models instead of retraining them;
+* when the context's :class:`~repro.config.RuntimeConfig` names a cache
+  directory, the persistent :class:`~repro.runtime.store.ArtifactStore`
+  backs the memo, so trained models, prompts and fitted detectors survive a
+  process restart — a warm store makes a repeated ``detector(...)`` call
+  skip all training.
+
+The embarrassingly-parallel builds (shadow pools, suspicious-model zoos)
+additionally fan out over the context's
+:class:`~repro.runtime.executor.ParallelExecutor` when ``workers > 1``.
 """
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.attacks.base import BackdoorAttack
 from repro.attacks.registry import attack_defaults, build_attack, canonical_attack_name
-from repro.config import ExperimentProfile, FAST
+from repro.config import ExperimentProfile, FAST, RuntimeConfig, profile_to_dict
 from repro.core.detector import BpromDetector
 from repro.core.shadow import ShadowModel, ShadowModelFactory
 from repro.datasets.base import ImageDataset
@@ -35,6 +46,9 @@ from repro.ml.metrics import auroc, best_f1_from_scores
 from repro.models.classifier import ImageClassifier
 from repro.models.registry import build_classifier
 from repro.prompting.prompted import PromptedClassifier
+from repro.runtime import serialization as ser
+from repro.runtime.executor import ParallelExecutor
+from repro.runtime.store import ArtifactStore, state_fingerprint
 from repro.utils.rng import derive_seed, new_rng
 
 
@@ -60,12 +74,25 @@ class SuspiciousModel:
         self.attack_success_rate = attack_success_rate
 
 
+def _build_suspicious_entry(context: "ExperimentContext", key: Tuple) -> SuspiciousModel:
+    """Module-level builder so executors can fan suspicious pools out."""
+    return context._suspicious_entry(key)
+
+
 class ExperimentContext:
     """Caches datasets, models and detectors for one (profile, seed) pair."""
 
-    def __init__(self, profile: Optional[ExperimentProfile] = None, seed: int = 0) -> None:
+    def __init__(
+        self,
+        profile: Optional[ExperimentProfile] = None,
+        seed: int = 0,
+        runtime: Optional[RuntimeConfig] = None,
+    ) -> None:
         self.profile = profile or FAST
         self.seed = int(seed)
+        self.runtime = runtime
+        self.store = ArtifactStore.from_config(runtime)
+        self.executor = ParallelExecutor.from_config(runtime)
         self._datasets: Dict[Tuple, Tuple[ImageDataset, ImageDataset]] = {}
         self._reserved: Dict[Tuple, ImageDataset] = {}
         self._suspicious: Dict[Tuple, SuspiciousModel] = {}
@@ -73,6 +100,10 @@ class ExperimentContext:
         self._shadow_pools: Dict[Tuple, List[ShadowModel]] = {}
         self._prompted_suspicious: Dict[Tuple, PromptedClassifier] = {}
         self._mntd: Dict[Tuple, MNTDDefense] = {}
+
+    def _store_key(self, **payload) -> dict:
+        """Artifact-store key payload: profile + seed + artefact parameters."""
+        return {"profile": profile_to_dict(self.profile), "seed": self.seed, **payload}
 
     # -- datasets ----------------------------------------------------------------
     def datasets(self, name: str) -> Tuple[ImageDataset, ImageDataset]:
@@ -98,6 +129,115 @@ class ExperimentContext:
         return self._reserved[key]
 
     # -- suspicious models ----------------------------------------------------------
+    def _suspicious_entry(self, key: Tuple) -> SuspiciousModel:
+        """Build (or fetch from the artifact store) one suspicious model.
+
+        Datasets, attacks and poisoning are cheap and deterministic given the
+        seed, so a store hit re-derives them and only skips the expensive
+        ``classifier.fit`` by loading the trained weights.
+        """
+        (
+            dataset_name,
+            attack_name,
+            index,
+            architecture,
+            poison_rate,
+            cover_rate,
+            kwargs_items,
+            target_class,
+        ) = key
+        attack_kwargs = dict(kwargs_items)
+        train, test = self.datasets(dataset_name)
+        seed = derive_seed(self.seed, "suspicious", *key)
+        name = f"{architecture}/{dataset_name}/{attack_name or 'clean'}/{index}"
+        store_key = self._store_key(
+            kind="suspicious",
+            dataset=dataset_name,
+            attack=attack_name,
+            index=index,
+            architecture=architecture,
+            poison_rate=poison_rate,
+            cover_rate=cover_rate,
+            attack_kwargs=sorted(attack_kwargs.items()),
+            target_class=target_class,
+        )
+        loaded = self.store.try_load(
+            "suspicious",
+            store_key,
+            lambda artifact: (ser.load_classifier(artifact), artifact.load_json("metrics")),
+        )
+
+        def make_classifier() -> ImageClassifier:
+            return build_classifier(
+                architecture,
+                train.num_classes,
+                image_size=self.profile.image_size,
+                rng=seed,
+                name=name,
+            )
+
+        if attack_name is None:
+            if loaded is not None:
+                classifier, metrics = loaded
+                return SuspiciousModel(classifier, False, clean_accuracy=metrics["clean_accuracy"])
+            classifier = make_classifier()
+            classifier.fit(train, self.profile.classifier, rng=seed + 1)
+            entry = SuspiciousModel(classifier, False, clean_accuracy=classifier.evaluate(test))
+            if self.store.enabled:
+                with self.store.open_write("suspicious", store_key) as artifact:
+                    ser.save_classifier(artifact, classifier)
+                    artifact.save_json("metrics", {"clean_accuracy": entry.clean_accuracy})
+            return entry
+
+        canonical = canonical_attack_name(attack_name)
+        attack = build_attack(
+            canonical, target_class=target_class, seed=seed + 2, **attack_kwargs
+        )
+        defaults = attack_defaults(canonical)
+        poisoning = attack.poison(
+            train,
+            poison_rate=poison_rate if poison_rate is not None else defaults.poison_rate,
+            cover_rate=cover_rate if cover_rate is not None else defaults.cover_rate,
+            rng=seed + 3,
+        )
+        if loaded is not None:
+            classifier, metrics = loaded
+            return SuspiciousModel(
+                classifier,
+                True,
+                attack=attack,
+                attack_name=canonical,
+                poisoning=poisoning,
+                clean_accuracy=metrics["clean_accuracy"],
+                attack_success_rate=metrics["attack_success_rate"],
+            )
+        classifier = make_classifier()
+        classifier.fit(poisoning.dataset, self.profile.classifier, rng=seed + 4)
+        triggered = attack.triggered_test_set(test)
+        asr = classifier.evaluate_attack_success(
+            triggered.images, attack.target_class, test.labels
+        )
+        entry = SuspiciousModel(
+            classifier,
+            True,
+            attack=attack,
+            attack_name=canonical,
+            poisoning=poisoning,
+            clean_accuracy=classifier.evaluate(test),
+            attack_success_rate=asr,
+        )
+        if self.store.enabled:
+            with self.store.open_write("suspicious", store_key) as artifact:
+                ser.save_classifier(artifact, classifier)
+                artifact.save_json(
+                    "metrics",
+                    {
+                        "clean_accuracy": entry.clean_accuracy,
+                        "attack_success_rate": entry.attack_success_rate,
+                    },
+                )
+        return entry
+
     def suspicious_model(
         self,
         dataset_name: str,
@@ -123,47 +263,7 @@ class ExperimentContext:
         )
         if key in self._suspicious:
             return self._suspicious[key]
-        train, test = self.datasets(dataset_name)
-        seed = derive_seed(self.seed, "suspicious", *key)
-        name = f"{architecture}/{dataset_name}/{attack_name or 'clean'}/{index}"
-        classifier = build_classifier(
-            architecture,
-            train.num_classes,
-            image_size=self.profile.image_size,
-            rng=seed,
-            name=name,
-        )
-        if attack_name is None:
-            classifier.fit(train, self.profile.classifier, rng=seed + 1)
-            entry = SuspiciousModel(
-                classifier, False, clean_accuracy=classifier.evaluate(test)
-            )
-        else:
-            canonical = canonical_attack_name(attack_name)
-            attack = build_attack(
-                canonical, target_class=target_class, seed=seed + 2, **attack_kwargs
-            )
-            defaults = attack_defaults(canonical)
-            poisoning = attack.poison(
-                train,
-                poison_rate=poison_rate if poison_rate is not None else defaults.poison_rate,
-                cover_rate=cover_rate if cover_rate is not None else defaults.cover_rate,
-                rng=seed + 3,
-            )
-            classifier.fit(poisoning.dataset, self.profile.classifier, rng=seed + 4)
-            triggered = attack.triggered_test_set(test)
-            asr = classifier.evaluate_attack_success(
-                triggered.images, attack.target_class, test.labels
-            )
-            entry = SuspiciousModel(
-                classifier,
-                True,
-                attack=attack,
-                attack_name=canonical,
-                poisoning=poisoning,
-                clean_accuracy=classifier.evaluate(test),
-                attack_success_rate=asr,
-            )
+        entry = self._suspicious_entry(key)
         self._suspicious[key] = entry
         return entry
 
@@ -173,12 +273,34 @@ class ExperimentContext:
         attack_name: Optional[str],
         count: int,
         architecture: str = "resnet18",
-        **kwargs,
+        poison_rate: Optional[float] = None,
+        cover_rate: Optional[float] = None,
+        attack_kwargs: Optional[dict] = None,
+        target_class: int = 0,
     ) -> List[SuspiciousModel]:
-        return [
-            self.suspicious_model(dataset_name, attack_name, index, architecture, **kwargs)
+        """A batch of suspicious models; missing entries are built concurrently."""
+        attack_kwargs = attack_kwargs or {}
+        keys = [
+            (
+                dataset_name,
+                attack_name,
+                index,
+                architecture,
+                poison_rate,
+                cover_rate,
+                tuple(sorted(attack_kwargs.items())),
+                target_class,
+            )
             for index in range(count)
         ]
+        missing = [key for key in keys if key not in self._suspicious]
+        if missing:
+            # datasets are shared state: materialise them before fanning out
+            self.datasets(dataset_name)
+            built = self.executor.map(partial(_build_suspicious_entry, self), missing)
+            for key, entry in zip(missing, built):
+                self._suspicious[key] = entry
+        return [self._suspicious[key] for key in keys]
 
     # -- shadow pools and detectors --------------------------------------------------
     def shadow_pool(
@@ -199,8 +321,26 @@ class ExperimentContext:
                 shadow_attack=shadow_attack,
                 seed=derive_seed(self.seed, "shadow-pool", *key[:3]),
             )
-            self._shadow_pools[key] = factory.build_pool(
-                reserved, num_clean=num_clean, num_backdoor=num_backdoor
+            store_key = self._store_key(
+                kind="shadow-pool",
+                dataset=dataset_name,
+                architecture=architecture,
+                shadow_attack=shadow_attack,
+                reserved_fraction=reserved_fraction,
+                num_clean=num_clean,
+                num_backdoor=num_backdoor,
+            )
+            self._shadow_pools[key] = self.store.fetch(
+                "shadow-pool",
+                store_key,
+                build=lambda: factory.build_pool(
+                    reserved,
+                    num_clean=num_clean,
+                    num_backdoor=num_backdoor,
+                    executor=self.executor,
+                ),
+                save=ser.save_shadow_pool,
+                load=ser.load_shadow_pool,
             )
         return self._shadow_pools[key]
 
@@ -214,7 +354,7 @@ class ExperimentContext:
         num_clean_shadows: Optional[int] = None,
         num_backdoor_shadows: Optional[int] = None,
     ) -> BpromDetector:
-        """A fitted BPROM detector (cached per configuration)."""
+        """A fitted BPROM detector (cached in memory and in the artifact store)."""
         key = (
             source_dataset,
             target_dataset,
@@ -226,25 +366,92 @@ class ExperimentContext:
         )
         if key in self._detectors:
             return self._detectors[key]
-        reserved = self.reserved_clean(source_dataset, reserved_fraction)
-        target_train, target_test = self.datasets(target_dataset)
-        shadows = self.shadow_pool(
-            source_dataset,
-            architecture,
-            shadow_attack,
-            reserved_fraction,
-            num_clean_shadows,
-            num_backdoor_shadows,
-        )
-        detector = BpromDetector(
-            profile=self.profile,
+        store_key = self._store_key(
+            kind="detector",
+            source_dataset=source_dataset,
+            target_dataset=target_dataset,
             architecture=architecture,
             shadow_attack=shadow_attack,
-            seed=derive_seed(self.seed, "detector", *key),
+            reserved_fraction=reserved_fraction,
+            num_clean_shadows=num_clean_shadows,
+            num_backdoor_shadows=num_backdoor_shadows,
         )
-        detector.fit(reserved, target_train, target_test, shadow_models=shadows)
+
+        def build() -> BpromDetector:
+            reserved = self.reserved_clean(source_dataset, reserved_fraction)
+            target_train, target_test = self.datasets(target_dataset)
+            shadows = self.shadow_pool(
+                source_dataset,
+                architecture,
+                shadow_attack,
+                reserved_fraction,
+                num_clean_shadows,
+                num_backdoor_shadows,
+            )
+            detector = BpromDetector(
+                profile=self.profile,
+                architecture=architecture,
+                shadow_attack=shadow_attack,
+                seed=derive_seed(self.seed, "detector", *key),
+                runtime=self.runtime,
+            )
+            detector.fit(reserved, target_train, target_test, shadow_models=shadows)
+            return detector
+
+        def load(artifact) -> BpromDetector:
+            # reattach the (store-backed) shadow pool so experiments reading
+            # detector.shadow_models / prompted_shadows — e.g. the figure 5
+            # projection — behave identically on warm and cold caches
+            shadows = self.shadow_pool(
+                source_dataset,
+                architecture,
+                shadow_attack,
+                reserved_fraction,
+                num_clean_shadows,
+                num_backdoor_shadows,
+            )
+            return BpromDetector.load(
+                artifact.directory, runtime=self.runtime, shadow_models=shadows
+            )
+
+        detector = self.store.fetch(
+            "detector",
+            store_key,
+            build=build,
+            save=lambda artifact, det: det.save(artifact.directory),
+            load=load,
+        )
         self._detectors[key] = detector
         return detector
+
+    def detector_cache_key(
+        self,
+        source_dataset: str,
+        target_dataset: str,
+        architecture: str,
+        shadow_attack: str,
+        reserved_fraction: Optional[float],
+        num_clean_shadows: Optional[int],
+        num_backdoor_shadows: Optional[int],
+    ) -> str:
+        """Stable identity of a detector configuration (for prompted-model caches).
+
+        Includes every parameter that affects the fitted detector — notably
+        ``shadow_attack``, so prompted-suspicious cache entries cannot collide
+        across detectors trained with different shadow attacks.
+        """
+        return "/".join(
+            str(part)
+            for part in (
+                source_dataset,
+                target_dataset,
+                architecture,
+                shadow_attack,
+                reserved_fraction,
+                num_clean_shadows,
+                num_backdoor_shadows,
+            )
+        )
 
     def prompted_suspicious(
         self,
@@ -252,10 +459,29 @@ class ExperimentContext:
         entry: SuspiciousModel,
         detector_key: str,
     ) -> PromptedClassifier:
-        """Black-box prompted view of one suspicious model (cached)."""
-        key = (detector_key, entry.classifier.name)
+        """Black-box prompted view of one suspicious model (cached).
+
+        Keyed on the classifier's weight fingerprint, not just its name:
+        sweep experiments reuse names across poison rates / attack kwargs,
+        and a name-only key would serve a prompt trained against a different
+        model.
+        """
+        fingerprint = state_fingerprint(entry.classifier.state_dict())
+        key = (detector_key, entry.classifier.name, fingerprint)
         if key not in self._prompted_suspicious:
-            self._prompted_suspicious[key] = detector.prompt_suspicious(entry.classifier)
+            store_key = self._store_key(
+                kind="prompted-suspicious",
+                detector=detector_key,
+                model=entry.classifier.name,
+                model_state=fingerprint,
+            )
+            self._prompted_suspicious[key] = self.store.fetch(
+                "prompted-suspicious",
+                store_key,
+                build=lambda: detector.prompt_suspicious(entry.classifier),
+                save=ser.save_prompted,
+                load=lambda artifact: ser.load_prompted(artifact, entry.classifier),
+            )
         return self._prompted_suspicious[key]
 
     def mntd(self, dataset_name: str, architecture: str = "resnet18") -> MNTDDefense:
@@ -277,12 +503,21 @@ class ExperimentContext:
 _CONTEXTS: Dict[Tuple[str, int], ExperimentContext] = {}
 
 
-def get_context(profile: Optional[ExperimentProfile] = None, seed: int = 0) -> ExperimentContext:
-    """Process-wide cached context so benchmarks share trained models."""
+def get_context(
+    profile: Optional[ExperimentProfile] = None,
+    seed: int = 0,
+    runtime: Optional[RuntimeConfig] = None,
+) -> ExperimentContext:
+    """Process-wide cached context so benchmarks share trained models.
+
+    ``runtime`` only applies when the context is first created; pass
+    ``RuntimeConfig.from_env()`` (or set ``REPRO_WORKERS`` / ``REPRO_CACHE_DIR``)
+    to parallelise and persist the benchmark runs.
+    """
     profile = profile or FAST
     key = (profile.name, int(seed))
     if key not in _CONTEXTS:
-        _CONTEXTS[key] = ExperimentContext(profile, seed)
+        _CONTEXTS[key] = ExperimentContext(profile, seed, runtime=runtime)
     return _CONTEXTS[key]
 
 
@@ -317,6 +552,7 @@ def bprom_detection_auroc(
     target_dataset: str = "stl10",
     architecture: str = "resnet18",
     suspicious_architecture: Optional[str] = None,
+    shadow_attack: str = "badnets",
     reserved_fraction: Optional[float] = None,
     num_clean_shadows: Optional[int] = None,
     num_backdoor_shadows: Optional[int] = None,
@@ -327,13 +563,19 @@ def bprom_detection_auroc(
         dataset_name,
         target_dataset,
         architecture,
+        shadow_attack=shadow_attack,
         reserved_fraction=reserved_fraction,
         num_clean_shadows=num_clean_shadows,
         num_backdoor_shadows=num_backdoor_shadows,
     )
-    detector_key = (
-        f"{dataset_name}/{target_dataset}/{architecture}/{reserved_fraction}/"
-        f"{num_clean_shadows}/{num_backdoor_shadows}"
+    detector_key = context.detector_cache_key(
+        dataset_name,
+        target_dataset,
+        architecture,
+        shadow_attack,
+        reserved_fraction,
+        num_clean_shadows,
+        num_backdoor_shadows,
     )
     pool, labels = build_suspicious_pool(
         context,

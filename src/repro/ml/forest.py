@@ -86,3 +86,35 @@ class RandomForestClassifier:
         """Mean accuracy on the given data."""
         labels = np.asarray(labels, dtype=np.int64)
         return float(np.mean(self.predict(features) == labels))
+
+    # -- persistence ----------------------------------------------------------
+    def get_state(self) -> dict:
+        """Flat array dictionary describing the fitted ensemble (npz-friendly)."""
+        if not self.trees_:
+            raise RuntimeError("forest has not been fitted")
+        state: dict = {
+            "num_classes": np.asarray([self.num_classes_], dtype=np.int64),
+            "n_estimators": np.asarray([len(self.trees_)], dtype=np.int64),
+        }
+        for index, tree in enumerate(self.trees_):
+            for key, value in tree.to_arrays().items():
+                state[f"tree{index}.{key}"] = value
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RandomForestClassifier":
+        """Rebuild a fitted forest from :meth:`get_state` output."""
+        count = int(np.asarray(state["n_estimators"]).ravel()[0])
+        forest = cls(n_estimators=count)
+        forest.num_classes_ = int(np.asarray(state["num_classes"]).ravel()[0])
+        forest.trees_ = [
+            DecisionTreeClassifier.from_arrays(
+                {
+                    key.split(".", 1)[1]: value
+                    for key, value in state.items()
+                    if key.startswith(f"tree{index}.")
+                }
+            )
+            for index in range(count)
+        ]
+        return forest

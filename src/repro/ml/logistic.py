@@ -72,3 +72,24 @@ class LogisticRegression:
     def score(self, features: np.ndarray, labels: np.ndarray) -> float:
         labels = np.asarray(labels, dtype=np.int64).ravel()
         return float(np.mean(self.predict(features) == labels))
+
+    # -- persistence ----------------------------------------------------------
+    def get_state(self) -> dict:
+        """Array dictionary describing the fitted model (npz-friendly)."""
+        self._check_fitted()
+        return {
+            "weights": self.weights_,
+            "bias": np.asarray([self.bias_], dtype=np.float64),
+            "mean": self._mean,
+            "std": self._std,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "LogisticRegression":
+        """Rebuild a fitted model from :meth:`get_state` output."""
+        model = cls()
+        model.weights_ = np.asarray(state["weights"], dtype=np.float64)
+        model.bias_ = float(np.asarray(state["bias"]).ravel()[0])
+        model._mean = np.asarray(state["mean"], dtype=np.float64)
+        model._std = np.asarray(state["std"], dtype=np.float64)
+        return model

@@ -161,6 +161,71 @@ class DecisionTreeClassifier:
     def predict(self, features: np.ndarray) -> np.ndarray:
         return np.argmax(self.predict_proba(features), axis=1)
 
+    # -- persistence ----------------------------------------------------------
+    def to_arrays(self) -> dict:
+        """Flatten the fitted tree into parallel arrays (preorder indexing).
+
+        ``feature`` is ``-1`` for leaves; ``proba`` rows hold the leaf class
+        probabilities (zeros for internal nodes) at the width the tree was
+        fitted with, so reloading reproduces predictions bit-for-bit.
+        """
+        if self._root is None:
+            raise RuntimeError("tree has not been fitted")
+        feature: list = []
+        threshold: list = []
+        left: list = []
+        right: list = []
+        proba_rows: list = []
+
+        def visit(node: _Node) -> int:
+            index = len(feature)
+            feature.append(-1 if node.is_leaf else node.feature)
+            threshold.append(node.threshold)
+            left.append(-1)
+            right.append(-1)
+            proba_rows.append(node.probabilities)
+            if not node.is_leaf:
+                left[index] = visit(node.left)
+                right[index] = visit(node.right)
+            return index
+
+        visit(self._root)
+        width = max((row.shape[0] for row in proba_rows if row is not None), default=1)
+        proba = np.zeros((len(proba_rows), width), dtype=np.float64)
+        for i, row in enumerate(proba_rows):
+            if row is not None:
+                proba[i, : row.shape[0]] = row
+        return {
+            "feature": np.asarray(feature, dtype=np.int64),
+            "threshold": np.asarray(threshold, dtype=np.float64),
+            "left": np.asarray(left, dtype=np.int64),
+            "right": np.asarray(right, dtype=np.int64),
+            "proba": proba,
+            "num_classes": np.asarray([self.num_classes_], dtype=np.int64),
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: dict) -> "DecisionTreeClassifier":
+        """Rebuild a fitted tree from :meth:`to_arrays` output."""
+        feature = np.asarray(arrays["feature"], dtype=np.int64)
+        threshold = np.asarray(arrays["threshold"], dtype=np.float64)
+        left = np.asarray(arrays["left"], dtype=np.int64)
+        right = np.asarray(arrays["right"], dtype=np.int64)
+        proba = np.asarray(arrays["proba"], dtype=np.float64)
+
+        def build(index: int) -> _Node:
+            if feature[index] < 0:
+                return _Node(probabilities=proba[index].copy())
+            node = _Node(feature=int(feature[index]), threshold=float(threshold[index]))
+            node.left = build(int(left[index]))
+            node.right = build(int(right[index]))
+            return node
+
+        tree = cls()
+        tree.num_classes_ = int(np.asarray(arrays["num_classes"]).ravel()[0])
+        tree._root = build(0)
+        return tree
+
     def depth(self) -> int:
         """Actual depth of the fitted tree."""
 

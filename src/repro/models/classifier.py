@@ -51,11 +51,33 @@ class ImageClassifier:
         Identifier used in experiment reports (e.g. ``"resnet18/cifar10"``).
     """
 
-    def __init__(self, model: Module, num_classes: int, name: str = "classifier") -> None:
+    def __init__(
+        self,
+        model: Module,
+        num_classes: int,
+        name: str = "classifier",
+        architecture: Optional[str] = None,
+        image_size: Optional[int] = None,
+        in_channels: int = 3,
+    ) -> None:
         self.model = model
         self.num_classes = int(num_classes)
         self.name = name
+        #: build spec (set by the registry) — lets the artifact store rebuild
+        #: the wrapped model from its saved state dict
+        self.architecture = architecture
+        self.image_size = image_size
+        self.in_channels = int(in_channels)
         self.history = TrainingHistory()
+
+    # -- state ----------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Parameter/buffer arrays of the wrapped model (see :class:`Module`)."""
+        return self.model.state_dict()
+
+    def load_state_dict(self, state: dict) -> "ImageClassifier":
+        self.model.load_state_dict(state)
+        return self
 
     # -- training -----------------------------------------------------------
     def _make_optimizer(self, config: TrainingConfig) -> nn.optim.Optimizer:

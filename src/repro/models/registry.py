@@ -62,4 +62,11 @@ def build_classifier(
 ) -> ImageClassifier:
     """Build a model and wrap it in an :class:`ImageClassifier`."""
     model = build_model(architecture, num_classes, image_size, in_channels, rng)
-    return ImageClassifier(model, num_classes, name=name or architecture)
+    return ImageClassifier(
+        model,
+        num_classes,
+        name=name or architecture,
+        architecture=architecture.lower(),
+        image_size=image_size,
+        in_channels=in_channels,
+    )

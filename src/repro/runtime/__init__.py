@@ -1,0 +1,51 @@
+"""Staged pipeline runtime: persistence, parallelism and batch serving.
+
+The runtime layer turns the BPROM pipeline into a production-shaped system:
+
+* :class:`~repro.runtime.store.ArtifactStore` — a content-addressed,
+  disk-backed cache for trained models, prompts and fitted detectors, keyed
+  on profile/seed/config hashes so artefacts survive process restarts.
+* :class:`~repro.runtime.executor.ParallelExecutor` — deterministic fan-out
+  of the embarrassingly-parallel stages (shadow training, prompting,
+  suspicious-model inspection) over thread or process pools.
+* :class:`~repro.runtime.pipeline.StagedPipeline` — the stage graph
+  (shadow -> prompt -> meta -> inspect) with per-stage caching and reports.
+* :class:`~repro.runtime.service.AuditService` — the serve-many API: load a
+  saved detector once, screen whole model catalogues concurrently.
+
+See ARCHITECTURE.md at the repository root for the full design.
+"""
+
+from repro.runtime.executor import ParallelExecutor
+from repro.runtime.pipeline import Stage, StagedPipeline, StageReport
+from repro.runtime.store import (
+    Artifact,
+    ArtifactStore,
+    canonical_key,
+    dataset_fingerprint,
+    key_hash,
+)
+
+__all__ = [
+    "Artifact",
+    "ArtifactStore",
+    "AuditService",
+    "AuditVerdict",
+    "ParallelExecutor",
+    "Stage",
+    "StagedPipeline",
+    "StageReport",
+    "canonical_key",
+    "dataset_fingerprint",
+    "key_hash",
+]
+
+
+def __getattr__(name: str):
+    # AuditService imports the detector, which imports this package's
+    # submodules; resolving it lazily keeps the import graph acyclic.
+    if name in ("AuditService", "AuditVerdict"):
+        from repro.runtime import service
+
+        return getattr(service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

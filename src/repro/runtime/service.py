@@ -1,0 +1,102 @@
+"""Serve-many audit API: one fitted detector screening a fleet of models.
+
+This is the MLaaS-audit deployment story from the paper's introduction turned
+into a batch service: fit (or load) a BPROM detector once, then submit whole
+vendor catalogues for concurrent black-box screening.  Per-model prompting
+seeds are derived from model names, so a batch audit returns exactly the same
+verdicts as inspecting each model alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.config import RuntimeConfig
+from repro.core.detector import BpromDetector, DetectionResult
+from repro.datasets.base import ImageDataset
+from repro.models.classifier import ImageClassifier
+from repro.prompting.blackbox import QueryFunction
+from repro.runtime.executor import ParallelExecutor
+
+
+@dataclass
+class AuditVerdict:
+    """One row of an audit report."""
+
+    name: str
+    backdoor_score: float
+    is_backdoored: bool
+    prompted_accuracy: float
+
+    @property
+    def verdict(self) -> str:
+        return "reject" if self.is_backdoored else "accept"
+
+
+class AuditService:
+    """Batch front-end over a fitted :class:`BpromDetector`.
+
+    Typical usage::
+
+        service = AuditService.from_saved("artifacts/detector", runtime=RuntimeConfig(workers=4))
+        report = service.audit({"vendor-a": model_a, "vendor-b": model_b})
+    """
+
+    def __init__(
+        self,
+        detector: BpromDetector,
+        runtime: Optional[RuntimeConfig] = None,
+    ) -> None:
+        self.detector = detector
+        self.executor = (
+            ParallelExecutor.from_config(runtime)
+            if runtime is not None
+            else detector._executor
+        )
+
+    @classmethod
+    def from_saved(
+        cls,
+        path: Union[str, Path],
+        runtime: Optional[RuntimeConfig] = None,
+    ) -> "AuditService":
+        """Stand up a service from a detector artifact written by ``save()``."""
+        return cls(BpromDetector.load(path, runtime=runtime), runtime=runtime)
+
+    def inspect_many(
+        self,
+        suspicious_models: Sequence[ImageClassifier],
+        query_functions: Optional[Sequence[Optional[QueryFunction]]] = None,
+        target_eval: Optional[ImageDataset] = None,
+    ) -> List[DetectionResult]:
+        """Concurrently prompt and score a batch of suspicious models."""
+        return self.detector.inspect_many(
+            suspicious_models,
+            query_functions=query_functions,
+            target_eval=target_eval,
+            executor=self.executor,
+        )
+
+    def audit(
+        self,
+        catalogue: Dict[str, ImageClassifier],
+        query_functions: Optional[Dict[str, QueryFunction]] = None,
+    ) -> List[AuditVerdict]:
+        """Screen a named catalogue of models; returns one verdict per entry."""
+        names = list(catalogue)
+        models = [catalogue[name] for name in names]
+        functions = None
+        if query_functions is not None:
+            functions = [query_functions.get(name) for name in names]
+        results = self.inspect_many(models, query_functions=functions)
+        return [
+            AuditVerdict(
+                name=name,
+                backdoor_score=result.backdoor_score,
+                is_backdoored=result.is_backdoored,
+                prompted_accuracy=result.prompted_accuracy,
+            )
+            for name, result in zip(names, results)
+        ]

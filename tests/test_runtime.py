@@ -1,0 +1,359 @@
+"""Tests for the staged pipeline runtime: artifact store, parallel executor,
+detector persistence, warm-cache training skips and the serve-many API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.core.detector import BpromDetector
+from repro.core.shadow import ShadowModelFactory
+from repro.eval.harness import ExperimentContext
+from repro.models.classifier import ImageClassifier
+from repro.models.registry import build_classifier
+from repro.runtime import (
+    ArtifactStore,
+    AuditService,
+    ParallelExecutor,
+    Stage,
+    StagedPipeline,
+)
+
+
+# ---------------------------------------------------------------------------
+# ArtifactStore
+# ---------------------------------------------------------------------------
+
+def test_store_round_trip_and_contains(tmp_path):
+    store = ArtifactStore(tmp_path)
+    key = {"profile": "micro", "seed": 0, "index": 3}
+    assert not store.contains("demo", key)
+    with store.open_write("demo", key) as artifact:
+        artifact.save_arrays("blob", {"x": np.arange(5.0)})
+        artifact.save_json("meta", {"hello": "world"})
+    assert store.contains("demo", key)
+    artifact = store.open_read("demo", key)
+    np.testing.assert_array_equal(artifact.load_arrays("blob")["x"], np.arange(5.0))
+    assert artifact.load_json("meta") == {"hello": "world"}
+
+
+def test_store_key_sensitivity(tmp_path):
+    store = ArtifactStore(tmp_path)
+    with store.open_write("demo", {"seed": 0}) as artifact:
+        artifact.save_json("meta", {})
+    assert store.contains("demo", {"seed": 0})
+    assert not store.contains("demo", {"seed": 1})
+
+
+def test_store_failed_write_leaves_no_artifact(tmp_path):
+    store = ArtifactStore(tmp_path)
+    with pytest.raises(RuntimeError):
+        with store.open_write("demo", {"seed": 0}) as artifact:
+            artifact.save_json("partial", {})
+            raise RuntimeError("boom")
+    assert not store.contains("demo", {"seed": 0})
+    assert not list((tmp_path / "demo").iterdir())
+
+
+def test_disabled_store_always_builds(tmp_path):
+    store = ArtifactStore(None, enabled=False)
+    calls = []
+    value = store.fetch("demo", {"k": 1}, build=lambda: calls.append(1) or 42)
+    assert value == 42 and calls == [1]
+    assert not store.contains("demo", {"k": 1})
+
+
+def test_store_recovers_from_corrupt_artifact(tmp_path):
+    store = ArtifactStore(tmp_path)
+    key = {"k": 1}
+    with store.open_write("demo", key) as artifact:
+        artifact.save_arrays("value", {"x": np.ones(3)})
+    # simulate a blob deleted from under an intact manifest
+    (store.directory_for("demo", key) / "value.npz").unlink()
+    builds = []
+    with pytest.warns(UserWarning, match="corrupt"):
+        value = store.fetch(
+            "demo",
+            key,
+            build=lambda: builds.append(1) or {"x": np.zeros(3)},
+            save=lambda artifact, value: artifact.save_arrays("value", value),
+            load=lambda artifact: artifact.load_arrays("value"),
+        )
+    np.testing.assert_array_equal(value["x"], np.zeros(3))
+    assert builds == [1]
+    # the rebuilt artifact replaced the corrupt one and loads cleanly now
+    np.testing.assert_array_equal(
+        store.fetch("demo", key, build=lambda: None, load=lambda a: a.load_arrays("value"))["x"],
+        np.zeros(3),
+    )
+
+
+def test_store_fetch_memoises_on_disk(tmp_path):
+    store = ArtifactStore(tmp_path)
+    builds = []
+
+    def fetch():
+        return store.fetch(
+            "numbers",
+            {"k": 1},
+            build=lambda: builds.append(1) or {"x": np.ones(3)},
+            save=lambda artifact, value: artifact.save_arrays("value", value),
+            load=lambda artifact: artifact.load_arrays("value"),
+        )
+
+    first = fetch()
+    second = fetch()
+    assert len(builds) == 1
+    np.testing.assert_array_equal(first["x"], second["x"])
+    assert store.hits == 1 and store.misses == 1
+
+
+# ---------------------------------------------------------------------------
+# ParallelExecutor
+# ---------------------------------------------------------------------------
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def test_executor_orders_match_serial():
+    items = list(range(20))
+    serial = ParallelExecutor(1).map(_square, items)
+    threaded = ParallelExecutor(4, "thread").map(_square, items)
+    assert serial == threaded == [x * x for x in items]
+
+
+def test_executor_rejects_bad_config():
+    with pytest.raises(ValueError):
+        ParallelExecutor(0)
+    with pytest.raises(ValueError):
+        ParallelExecutor(2, "fiber")
+    with pytest.raises(ValueError):
+        RuntimeConfig(workers=2, backend="fiber")
+
+
+def test_runtime_config_properties(tmp_path):
+    assert not RuntimeConfig().parallel
+    assert RuntimeConfig(workers=4).parallel
+    assert not RuntimeConfig(workers=4, cache_dir=None).persistent
+    assert RuntimeConfig(cache_dir=str(tmp_path)).persistent
+    assert not RuntimeConfig(cache_dir=str(tmp_path), cache=False).persistent
+
+
+# ---------------------------------------------------------------------------
+# StagedPipeline
+# ---------------------------------------------------------------------------
+
+def test_pipeline_runs_stages_in_order_and_caches(tmp_path):
+    store = ArtifactStore(tmp_path)
+    builds = []
+
+    def stages():
+        return [
+            Stage(
+                "numbers",
+                build=lambda results: builds.append("numbers") or [1, 2, 3],
+                kind="numbers",
+                key={"seed": 0},
+                save=lambda artifact, value: artifact.save_json("value", value),
+                load=lambda artifact, results: artifact.load_json("value"),
+            ),
+            Stage("total", build=lambda results: sum(results["numbers"])),
+        ]
+
+    first = StagedPipeline(stages(), store=store)
+    assert first.run() == {"numbers": [1, 2, 3], "total": 6}
+    assert [report.cached for report in first.reports] == [False, False]
+
+    second = StagedPipeline(stages(), store=store)
+    assert second.run() == {"numbers": [1, 2, 3], "total": 6}
+    assert [report.cached for report in second.reports] == [True, False]
+    assert builds == ["numbers"]
+
+
+# ---------------------------------------------------------------------------
+# parallel shadow pools (same seeds, same models as sequential)
+# ---------------------------------------------------------------------------
+
+def test_parallel_shadow_pool_matches_sequential(micro_profile, tiny_dataset):
+    factory = ShadowModelFactory(
+        profile=micro_profile, architecture="mlp", shadow_attack="badnets", seed=11
+    )
+    sequential = factory.build_pool(tiny_dataset, num_clean=2, num_backdoor=2)
+    parallel = factory.build_pool(
+        tiny_dataset,
+        num_clean=2,
+        num_backdoor=2,
+        executor=ParallelExecutor(3, "thread"),
+    )
+    assert [s.is_backdoored for s in sequential] == [s.is_backdoored for s in parallel]
+    assert [s.target_class for s in sequential] == [s.target_class for s in parallel]
+    for left, right in zip(sequential, parallel):
+        for p, q in zip(left.classifier.model.parameters(), right.classifier.model.parameters()):
+            np.testing.assert_array_equal(p.data, q.data)
+
+
+def test_seed_normalisation_no_longer_collapses_generators():
+    a = ShadowModelFactory(seed=np.random.default_rng(5))
+    b = ShadowModelFactory(seed=np.random.default_rng(6))
+    assert a.seed != 0 and b.seed != 0
+    assert a.seed != b.seed
+    c = BpromDetector(seed=np.random.default_rng(5))
+    assert c.seed == ShadowModelFactory(seed=np.random.default_rng(5)).seed
+
+
+# ---------------------------------------------------------------------------
+# detector persistence + serve-many API
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def fitted_detector(micro_profile, tiny_dataset, tiny_test_dataset):
+    detector = BpromDetector(profile=micro_profile, architecture="mlp", seed=0)
+    detector.fit(tiny_dataset, tiny_dataset, tiny_test_dataset)
+    return detector
+
+
+@pytest.fixture(scope="module")
+def suspicious_fleet(micro_profile, tiny_dataset):
+    fleet = []
+    for index in range(3):
+        model = build_classifier(
+            "mlp",
+            tiny_dataset.num_classes,
+            image_size=tiny_dataset.image_size,
+            rng=200 + index,
+            name=f"fleet-{index}",
+        )
+        model.fit(tiny_dataset, micro_profile.classifier, rng=300 + index)
+        fleet.append(model)
+    return fleet
+
+
+def test_detector_save_load_bit_identical_scores(
+    fitted_detector, suspicious_fleet, tmp_path
+):
+    path = fitted_detector.save(tmp_path / "detector")
+    restored = BpromDetector.load(path)
+    for model in suspicious_fleet:
+        original = fitted_detector.inspect(model)
+        loaded = restored.inspect(model)
+        assert loaded.backdoor_score == original.backdoor_score
+        assert loaded.is_backdoored == original.is_backdoored
+        assert loaded.prompted_accuracy == original.prompted_accuracy
+
+
+def test_save_requires_fitted_detector(micro_profile, tmp_path):
+    detector = BpromDetector(profile=micro_profile, architecture="mlp", seed=0)
+    with pytest.raises(RuntimeError):
+        detector.save(tmp_path / "nope")
+
+
+def test_inspect_many_matches_sequential_inspect(fitted_detector, suspicious_fleet):
+    sequential = [fitted_detector.inspect(model) for model in suspicious_fleet]
+    batched = fitted_detector.inspect_many(
+        suspicious_fleet, executor=ParallelExecutor(3, "thread")
+    )
+    assert [r.backdoor_score for r in batched] == [r.backdoor_score for r in sequential]
+    scores = fitted_detector.score_models(suspicious_fleet)
+    np.testing.assert_array_equal(scores, [r.backdoor_score for r in sequential])
+
+
+def test_audit_service_round_trip(fitted_detector, suspicious_fleet, tmp_path):
+    path = fitted_detector.save(tmp_path / "detector")
+    service = AuditService.from_saved(path, runtime=RuntimeConfig(workers=2))
+    catalogue = {model.name: model for model in suspicious_fleet}
+    report = service.audit(catalogue)
+    assert [verdict.name for verdict in report] == [m.name for m in suspicious_fleet]
+    direct = fitted_detector.inspect_many(suspicious_fleet)
+    for verdict, result in zip(report, direct):
+        assert verdict.backdoor_score == result.backdoor_score
+        assert verdict.verdict in ("accept", "reject")
+
+
+# ---------------------------------------------------------------------------
+# warm artifact store: repeated context calls skip all training
+# ---------------------------------------------------------------------------
+
+def test_warm_store_skips_all_training(micro_profile, tmp_path, monkeypatch):
+    runtime = RuntimeConfig(cache_dir=str(tmp_path / "artifacts"))
+    profile = micro_profile.with_overrides(name="micro-warm")
+
+    warm = ExperimentContext(profile, seed=0, runtime=runtime)
+    detector = warm.detector(
+        "cifar10", "stl10", "mlp", num_clean_shadows=1, num_backdoor_shadows=1
+    )
+    probe = warm.suspicious_model("cifar10", None, 0, "mlp")
+    baseline_score = detector.inspect(probe.classifier).backdoor_score
+
+    fit_calls = []
+    original_fit = ImageClassifier.fit
+
+    def counting_fit(self, *args, **kwargs):
+        fit_calls.append(self.name)
+        return original_fit(self, *args, **kwargs)
+
+    monkeypatch.setattr(ImageClassifier, "fit", counting_fit)
+    import repro.prompting.trainer as trainer_module
+
+    original_prompt = trainer_module.train_prompt_whitebox
+    prompt_calls = []
+
+    def counting_prompt(*args, **kwargs):
+        prompt_calls.append(1)
+        return original_prompt(*args, **kwargs)
+
+    monkeypatch.setattr(trainer_module, "train_prompt_whitebox", counting_prompt)
+
+    # a brand-new context (fresh process stand-in) with the same store
+    cold = ExperimentContext(profile, seed=0, runtime=runtime)
+    restored = cold.detector(
+        "cifar10", "stl10", "mlp", num_clean_shadows=1, num_backdoor_shadows=1
+    )
+    assert fit_calls == [], "warm store must skip classifier training entirely"
+    assert prompt_calls == [], "warm store must skip prompt training entirely"
+    assert cold.store.hits >= 1
+    # the loaded detector reattaches its shadow pool and prompts, so
+    # experiments reading them (e.g. figure 5) behave as on a cold cache
+    assert len(restored.shadow_models) == len(detector.shadow_models) == 2
+    assert len(restored.prompted_shadows) == len(detector.prompted_shadows) == 2
+
+    # the restored detector serves bit-identical scores
+    probe_again = cold.suspicious_model("cifar10", None, 0, "mlp")
+    assert fit_calls == [], "warm store must also cover the suspicious zoo"
+    assert restored.inspect(probe_again.classifier).backdoor_score == baseline_score
+
+
+def test_prompted_suspicious_cache_keys_on_model_content(
+    micro_profile, tiny_dataset, tiny_test_dataset
+):
+    """Two differently trained models sharing a name must not share prompts."""
+    detector = BpromDetector(profile=micro_profile, architecture="mlp", seed=0)
+    detector.fit(tiny_dataset, tiny_dataset, tiny_test_dataset)
+    context = ExperimentContext(micro_profile.with_overrides(name="micro-fp"), seed=0)
+
+    entries = []
+    for rng in (400, 401):
+        model = build_classifier(
+            "mlp",
+            tiny_dataset.num_classes,
+            image_size=tiny_dataset.image_size,
+            rng=rng,
+            name="mlp/cifar10/blend/0",  # same name, as in a poison-rate sweep
+        )
+        model.fit(tiny_dataset, micro_profile.classifier, rng=rng + 1)
+        from repro.eval.harness import SuspiciousModel
+
+        entries.append(SuspiciousModel(model, True))
+    first = context.prompted_suspicious(detector, entries[0], "detkey")
+    second = context.prompted_suspicious(detector, entries[1], "detkey")
+    assert first.source_classifier is entries[0].classifier
+    assert second.source_classifier is entries[1].classifier
+    assert len(context._prompted_suspicious) == 2
+
+
+def test_context_without_cache_dir_keeps_memory_semantics(micro_profile):
+    context = ExperimentContext(micro_profile.with_overrides(name="micro-mem"), seed=0)
+    assert not context.store.enabled
+    first = context.datasets("cifar10")
+    assert context.datasets("cifar10")[0] is first[0]
