@@ -7,13 +7,18 @@ embarrassingly-parallel hot paths: shadow-model training
 the parallel pool must contain bit-identical models, and batch scores must
 equal sequential scores — so the benchmark doubles as an equivalence check.
 
+Results are also written as machine-readable JSON (``--json``) so the perf
+trajectory can be tracked across commits.
+
 Run with:  PYTHONPATH=src python benchmarks/bench_runtime_parallel.py \
-               [--profile tiny|fast|bench] [--arch mlp] [--workers 4] [--backend thread]
+               [--profile tiny|fast|bench] [--arch mlp] [--workers 4] [--backend thread] \
+               [--json BENCH_runtime_parallel.json]
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import time
 
@@ -42,6 +47,11 @@ def main() -> None:
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument("--backend", default="thread", choices=("thread", "process"))
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--json",
+        default="BENCH_runtime_parallel.json",
+        help="output path for machine-readable results",
+    )
     args = parser.parse_args()
 
     profile = get_profile(args.profile)
@@ -63,17 +73,18 @@ def main() -> None:
 
     print("shadow-pool build:")
     factory = ShadowModelFactory(profile=profile, architecture=args.arch, seed=args.seed)
-    sequential_pool, sequential_s = _time(
+    sequential_pool, shadow_sequential_s = _time(
         "sequential", lambda: factory.build_pool(test)
     )
-    parallel_pool, parallel_s = _time(
+    parallel_pool, shadow_parallel_s = _time(
         f"parallel ({args.workers} workers)",
         lambda: factory.build_pool(test, executor=executor),
     )
     for left, right in zip(sequential_pool, parallel_pool):
         for p, q in zip(left.classifier.model.parameters(), right.classifier.model.parameters()):
             np.testing.assert_array_equal(p.data, q.data)
-    print(f"  pools identical; speedup {sequential_s / max(parallel_s, 1e-9):.2f}x")
+    shadow_speedup = shadow_sequential_s / max(shadow_parallel_s, 1e-9)
+    print(f"  pools identical; speedup {shadow_speedup:.2f}x")
 
     print("batch inspection (serve-many):")
     detector = BpromDetector(profile=profile, architecture=args.arch, seed=args.seed)
@@ -99,7 +110,29 @@ def main() -> None:
     )
     batch_scores = [result.backdoor_score for result in batch_results]
     assert batch_scores == sequential_scores, "parallel scores must match sequential"
-    print(f"  scores identical; speedup {sequential_s / max(parallel_s, 1e-9):.2f}x")
+    inspect_speedup = sequential_s / max(parallel_s, 1e-9)
+    print(f"  scores identical; speedup {inspect_speedup:.2f}x")
+
+    results = {
+        "benchmark": "runtime_parallel",
+        "profile": profile.name,
+        "arch": args.arch,
+        "workers": args.workers,
+        "backend": args.backend,
+        "cores": cores,
+        "shadow_models": profile.total_shadow_models,
+        "fleet_size": len(fleet),
+        "shadow_sequential_seconds": shadow_sequential_s,
+        "shadow_parallel_seconds": shadow_parallel_s,
+        "shadow_speedup": shadow_speedup,
+        "inspect_sequential_seconds": sequential_s,
+        "inspect_parallel_seconds": parallel_s,
+        "inspect_speedup": inspect_speedup,
+        "results_bit_identical": True,
+    }
+    with open(args.json, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+    print(f"results written to {args.json}")
 
 
 if __name__ == "__main__":

@@ -23,7 +23,8 @@ from __future__ import annotations
 
 import os
 from dataclasses import asdict, dataclass, field, replace
-from typing import Dict, Optional
+from pathlib import Path
+from typing import Dict, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -227,6 +228,14 @@ class RuntimeConfig:
     #: master switch for the artifact store (lets callers keep a cache_dir
     #: configured but bypass it, e.g. to force retraining)
     cache: bool = True
+    #: shard roots for a federated :class:`~repro.runtime.sharding.ShardedArtifactStore`;
+    #: supersedes ``cache_dir`` when non-empty (writes go to each key's home
+    #: shard, reads fall through across every shard)
+    shard_dirs: Optional[Tuple[str, ...]] = None
+    #: cap on concurrently in-flight jobs in
+    #: :class:`~repro.runtime.service_async.AsyncAuditService`; ``None``
+    #: derives 2x ``workers`` at service construction
+    max_in_flight: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -235,6 +244,18 @@ class RuntimeConfig:
             raise ValueError(
                 f"unknown backend {self.backend!r}; available: {_RUNTIME_BACKENDS}"
             )
+        if self.shard_dirs is not None:
+            # accept a single path or any sequence of paths, store a hashable
+            # tuple; without the guard a bare string would explode into
+            # per-character "roots"
+            dirs = (
+                (self.shard_dirs,)
+                if isinstance(self.shard_dirs, (str, Path))
+                else self.shard_dirs
+            )
+            object.__setattr__(self, "shard_dirs", tuple(str(d) for d in dirs))
+        if self.max_in_flight is not None and self.max_in_flight < 1:
+            raise ValueError(f"max_in_flight must be >= 1, got {self.max_in_flight}")
 
     @property
     def parallel(self) -> bool:
@@ -242,7 +263,7 @@ class RuntimeConfig:
 
     @property
     def persistent(self) -> bool:
-        return self.cache and self.cache_dir is not None
+        return self.cache and (self.cache_dir is not None or bool(self.shard_dirs))
 
     def with_overrides(self, **kwargs) -> "RuntimeConfig":
         return replace(self, **kwargs)
@@ -250,12 +271,21 @@ class RuntimeConfig:
     @classmethod
     def from_env(cls) -> "RuntimeConfig":
         """Build a runtime config from ``REPRO_WORKERS`` / ``REPRO_BACKEND`` /
-        ``REPRO_CACHE_DIR`` environment variables (benchmark/CI convenience)."""
+        ``REPRO_CACHE_DIR`` / ``REPRO_SHARD_DIRS`` / ``REPRO_MAX_IN_FLIGHT``
+        environment variables (benchmark/CI convenience).  ``REPRO_SHARD_DIRS``
+        is a list of shard roots separated by ``os.pathsep`` (``:`` on POSIX).
+        """
+        shard_dirs = tuple(
+            part for part in os.environ.get("REPRO_SHARD_DIRS", "").split(os.pathsep) if part
+        )
+        max_in_flight = os.environ.get("REPRO_MAX_IN_FLIGHT")
         return cls(
             workers=int(os.environ.get("REPRO_WORKERS", "1")),
             backend=os.environ.get("REPRO_BACKEND", "thread"),
             cache_dir=os.environ.get("REPRO_CACHE_DIR") or None,
             cache=os.environ.get("REPRO_CACHE", "1") != "0",
+            shard_dirs=shard_dirs or None,
+            max_in_flight=int(max_in_flight) if max_in_flight else None,
         )
 
 

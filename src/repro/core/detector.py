@@ -77,11 +77,16 @@ def _shadow_pool_fingerprint(pool: Sequence[ShadowModel]) -> str:
 def _inspect_task(
     detector: "BpromDetector",
     target_eval: Optional[ImageDataset],
-    item: Tuple[ImageClassifier, Optional[QueryFunction]],
+    item: Tuple[ImageClassifier, Optional[QueryFunction], Optional[str]],
 ) -> DetectionResult:
     """Module-level task wrapper so process-backend executors can pickle it."""
-    suspicious, query_function = item
-    return detector.inspect(suspicious, query_function=query_function, target_eval=target_eval)
+    suspicious, query_function, seed_key = item
+    return detector.inspect(
+        suspicious,
+        query_function=query_function,
+        target_eval=target_eval,
+        seed_key=seed_key,
+    )
 
 
 class BpromDetector:
@@ -134,6 +139,11 @@ class BpromDetector:
         self._fitted = False
         self._store = ArtifactStore.from_config(self.runtime)
         self._executor = ParallelExecutor.from_config(self.runtime)
+
+    @property
+    def executor(self) -> ParallelExecutor:
+        """The detector's parallel executor (shared by the audit services)."""
+        return self._executor
 
     # -- training -----------------------------------------------------------------
     def _base_key(self, reserved_clean: Optional[ImageDataset]) -> dict:
@@ -329,15 +339,23 @@ class BpromDetector:
         self,
         suspicious: ImageClassifier,
         query_function: Optional[QueryFunction] = None,
+        seed_key: Optional[str] = None,
     ) -> PromptedClassifier:
-        """Black-box prompt the suspicious model on ``D_T`` (no gradients used)."""
+        """Black-box prompt the suspicious model on ``D_T`` (no gradients used).
+
+        ``seed_key`` is the stable identity the prompting seed derives from.
+        It defaults to the model's name; batch audits pass the catalogue key
+        instead, so two catalogue entries that happen to share a ``.name``
+        still get independent prompting seeds.
+        """
         if self._target_train is None:
             raise RuntimeError("fit must be called before inspecting models")
+        seed_key = suspicious.name if seed_key is None else seed_key
         return prompt_suspicious_model(
             suspicious,
             self._target_train,
             profile=self.profile,
-            seed=derive_seed(self.seed, "suspicious", suspicious.name),
+            seed=derive_seed(self.seed, "suspicious", seed_key),
             query_function=query_function,
         )
 
@@ -346,11 +364,14 @@ class BpromDetector:
         suspicious: ImageClassifier,
         query_function: Optional[QueryFunction] = None,
         target_eval: Optional[ImageDataset] = None,
+        seed_key: Optional[str] = None,
     ) -> DetectionResult:
         """Decide whether ``suspicious`` carries a backdoor."""
         if not self._fitted:
             raise RuntimeError("fit must be called before inspecting models")
-        prompted = self.prompt_suspicious(suspicious, query_function=query_function)
+        prompted = self.prompt_suspicious(
+            suspicious, query_function=query_function, seed_key=seed_key
+        )
         score = self.meta_classifier.backdoor_score(prompted)
         eval_set = target_eval if target_eval is not None else self.meta_classifier.query_pool
         prompted_accuracy = prompted.evaluate(eval_set) if eval_set is not None else float("nan")
@@ -367,21 +388,28 @@ class BpromDetector:
         query_functions: Optional[Sequence[Optional[QueryFunction]]] = None,
         target_eval: Optional[ImageDataset] = None,
         executor: Optional[ParallelExecutor] = None,
+        keys: Optional[Sequence[Optional[str]]] = None,
     ) -> List[DetectionResult]:
         """Inspect a fleet of suspicious models, prompting them concurrently.
 
-        Every model's black-box prompting seed is derived from its name, so
-        the results are identical to calling :meth:`inspect` sequentially —
-        the fan-out only changes wall-clock time.
+        Every model's black-box prompting seed is derived from its ``keys``
+        entry (the catalogue key in a batch audit), falling back to the model
+        name, so the results are identical to calling :meth:`inspect`
+        sequentially with the same keys — the fan-out only changes wall-clock
+        time.
         """
         if not self._fitted:
             raise RuntimeError("fit must be called before inspecting models")
         if query_functions is not None and len(query_functions) != len(suspicious_models):
             raise ValueError("query_functions and suspicious_models disagree on length")
+        if keys is not None and len(keys) != len(suspicious_models):
+            raise ValueError("keys and suspicious_models disagree on length")
         if query_functions is None:
             query_functions = [None] * len(suspicious_models)
+        if keys is None:
+            keys = [None] * len(suspicious_models)
         executor = executor if executor is not None else self._executor
-        items = list(zip(suspicious_models, query_functions))
+        items = list(zip(suspicious_models, query_functions, keys))
         return executor.map(partial(_inspect_task, self, target_eval), items)
 
     def score_models(

@@ -48,7 +48,7 @@ from repro.models.registry import build_classifier
 from repro.prompting.prompted import PromptedClassifier
 from repro.runtime import serialization as ser
 from repro.runtime.executor import ParallelExecutor
-from repro.runtime.store import ArtifactStore, state_fingerprint
+from repro.runtime.store import MISS, ArtifactStore, state_fingerprint
 from repro.utils.rng import derive_seed, new_rng
 
 
@@ -166,6 +166,8 @@ class ExperimentContext:
             store_key,
             lambda artifact: (ser.load_classifier(artifact), artifact.load_json("metrics")),
         )
+        if loaded is MISS:
+            loaded = None
 
         def make_classifier() -> ImageClassifier:
             return build_classifier(

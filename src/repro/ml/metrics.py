@@ -54,8 +54,19 @@ def auroc(scores: np.ndarray, labels: np.ndarray) -> float:
 
 
 def roc_curve(scores: np.ndarray, labels: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Return ``(false_positive_rates, true_positive_rates, thresholds)``."""
+    """Return ``(false_positive_rates, true_positive_rates, thresholds)``.
+
+    With single-class labels the ROC is undefined (one of the rates has a
+    zero denominator); rather than silently clamping the denominator, this
+    returns the chance diagonal ``(0, 0) -> (1, 1)``, whose area is 0.5 —
+    the same degenerate-split convention :func:`auroc` documents.
+    """
     scores, labels = _validate(scores, labels)
+    total_pos = int(labels.sum())
+    total_neg = int(labels.size) - total_pos
+    if total_pos == 0 or total_neg == 0:
+        thresholds = np.array([np.inf, float(scores.min())])
+        return np.array([0.0, 1.0]), np.array([0.0, 1.0]), thresholds
     order = np.argsort(-scores, kind="mergesort")
     scores_sorted = scores[order]
     labels_sorted = labels[order]
@@ -63,8 +74,6 @@ def roc_curve(scores: np.ndarray, labels: np.ndarray) -> Tuple[np.ndarray, np.nd
     threshold_idx = np.concatenate([distinct, [scores_sorted.size - 1]])
     tps = np.cumsum(labels_sorted)[threshold_idx]
     fps = (threshold_idx + 1) - tps
-    total_pos = max(int(labels.sum()), 1)
-    total_neg = max(int((1 - labels).sum()), 1)
     tpr = np.concatenate([[0.0], tps / total_pos])
     fpr = np.concatenate([[0.0], fps / total_neg])
     thresholds = np.concatenate([[np.inf], scores_sorted[threshold_idx]])

@@ -10,14 +10,21 @@ The runtime layer turns the BPROM pipeline into a production-shaped system:
   suspicious-model inspection) over thread or process pools.
 * :class:`~repro.runtime.pipeline.StagedPipeline` — the stage graph
   (shadow -> prompt -> meta -> inspect) with per-stage caching and reports.
+* :class:`~repro.runtime.sharding.ShardedArtifactStore` — one cache federated
+  across several store roots: deterministic home-shard placement, read-through
+  lookups across every shard, ``rebalance()``/``gc()`` maintenance.
 * :class:`~repro.runtime.service.AuditService` — the serve-many API: load a
   saved detector once, screen whole model catalogues concurrently.
+* :class:`~repro.runtime.service_async.AsyncAuditService` — the streaming
+  front-end: ``submit``/``as_completed``/``stream`` with bounded in-flight
+  backpressure; verdicts are bit-identical to the batch path.
 
 See ARCHITECTURE.md at the repository root for the full design.
 """
 
-from repro.runtime.executor import ParallelExecutor
+from repro.runtime.executor import ExecutorSession, ParallelExecutor
 from repro.runtime.pipeline import Stage, StagedPipeline, StageReport
+from repro.runtime.sharding import ShardedArtifactStore
 from repro.runtime.store import (
     Artifact,
     ArtifactStore,
@@ -29,9 +36,13 @@ from repro.runtime.store import (
 __all__ = [
     "Artifact",
     "ArtifactStore",
+    "AsyncAuditService",
+    "AuditJob",
     "AuditService",
     "AuditVerdict",
+    "ExecutorSession",
     "ParallelExecutor",
+    "ShardedArtifactStore",
     "Stage",
     "StagedPipeline",
     "StageReport",
@@ -40,12 +51,19 @@ __all__ = [
     "key_hash",
 ]
 
+#: service classes import the detector, which imports this package's
+#: submodules; resolving them lazily keeps the import graph acyclic
+_LAZY = {
+    "AuditService": "repro.runtime.service",
+    "AuditVerdict": "repro.runtime.service",
+    "AsyncAuditService": "repro.runtime.service_async",
+    "AuditJob": "repro.runtime.service_async",
+}
+
 
 def __getattr__(name: str):
-    # AuditService imports the detector, which imports this package's
-    # submodules; resolving it lazily keeps the import graph acyclic.
-    if name in ("AuditService", "AuditVerdict"):
-        from repro.runtime import service
+    if name in _LAZY:
+        import importlib
 
-        return getattr(service, name)
+        return getattr(importlib.import_module(_LAZY[name]), name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -16,7 +16,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.runtime.store import Artifact, ArtifactStore
+from repro.runtime.store import MISS, Artifact, ArtifactStore
 
 
 @dataclass
@@ -74,15 +74,13 @@ class StagedPipeline:
         for stage in self.stages:
             start = time.perf_counter()
             cached = False
-            value = None
+            value = MISS
             if stage.cacheable:
                 value = self.store.try_load(
                     stage.kind, stage.key, lambda artifact: stage.load(artifact, results)
                 )
-                cached = value is not None
+                cached = value is not MISS
             if not cached:
-                if stage.cacheable:
-                    self.store.misses += 1
                 value = stage.build(results)
                 if stage.cacheable and self.store.enabled:
                     with self.store.open_write(stage.kind, stage.key) as artifact:

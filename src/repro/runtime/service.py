@@ -3,8 +3,11 @@
 This is the MLaaS-audit deployment story from the paper's introduction turned
 into a batch service: fit (or load) a BPROM detector once, then submit whole
 vendor catalogues for concurrent black-box screening.  Per-model prompting
-seeds are derived from model names, so a batch audit returns exactly the same
-verdicts as inspecting each model alone.
+seeds are derived from the *catalogue key* (not the model name, which vendors
+may reuse), so a batch audit returns exactly the same verdicts as inspecting
+each model alone under its key — and duplicate-named entries never share a
+seed.  For a streaming front-end over the same verdicts see
+:class:`~repro.runtime.service_async.AsyncAuditService`.
 """
 
 from __future__ import annotations
@@ -19,6 +22,16 @@ from repro.datasets.base import ImageDataset
 from repro.models.classifier import ImageClassifier
 from repro.prompting.blackbox import QueryFunction
 from repro.runtime.executor import ParallelExecutor
+
+
+def resolve_executor(
+    detector: BpromDetector, runtime: Optional[RuntimeConfig]
+) -> ParallelExecutor:
+    """The executor an audit service should run on: the runtime's if one is
+    given, otherwise the detector's own (shared by both service front-ends)."""
+    if runtime is not None:
+        return ParallelExecutor.from_config(runtime)
+    return detector.executor
 
 
 @dataclass
@@ -50,11 +63,7 @@ class AuditService:
         runtime: Optional[RuntimeConfig] = None,
     ) -> None:
         self.detector = detector
-        self.executor = (
-            ParallelExecutor.from_config(runtime)
-            if runtime is not None
-            else detector._executor
-        )
+        self.executor = resolve_executor(detector, runtime)
 
     @classmethod
     def from_saved(
@@ -70,13 +79,20 @@ class AuditService:
         suspicious_models: Sequence[ImageClassifier],
         query_functions: Optional[Sequence[Optional[QueryFunction]]] = None,
         target_eval: Optional[ImageDataset] = None,
+        keys: Optional[Sequence[Optional[str]]] = None,
     ) -> List[DetectionResult]:
-        """Concurrently prompt and score a batch of suspicious models."""
+        """Concurrently prompt and score a batch of suspicious models.
+
+        ``keys`` carries each model's stable audit identity (the catalogue
+        key) into the per-model seed derivation; without it seeds fall back
+        to model names.
+        """
         return self.detector.inspect_many(
             suspicious_models,
             query_functions=query_functions,
             target_eval=target_eval,
             executor=self.executor,
+            keys=keys,
         )
 
     def audit(
@@ -90,7 +106,9 @@ class AuditService:
         functions = None
         if query_functions is not None:
             functions = [query_functions.get(name) for name in names]
-        results = self.inspect_many(models, query_functions=functions)
+        # seed on the catalogue key, not model.name: vendors reuse names, and
+        # duplicate-named entries must not share visual-prompt seeds
+        results = self.inspect_many(models, query_functions=functions, keys=names)
         return [
             AuditVerdict(
                 name=name,

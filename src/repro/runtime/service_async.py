@@ -1,0 +1,276 @@
+"""Async/streaming audit service: verdicts yielded as each model finishes.
+
+The synchronous :class:`~repro.runtime.service.AuditService` returns the whole
+report only after the slowest model is scored.  An MLaaS auditor screening a
+large vendor catalogue wants to start quarantining compromised models as soon
+as their individual verdicts land, while the queue keeps the workers fed —
+that is this module's :class:`AsyncAuditService`:
+
+* ``submit(key, model)`` enqueues one audit job and returns an
+  :class:`AuditJob` handle;
+* ``as_completed()`` drains submitted jobs in completion order;
+* ``stream(catalogue)`` is the one-shot form: a generator yielding one
+  :class:`~repro.runtime.service.AuditVerdict` per entry as models finish.
+
+In-flight work is bounded by ``max_in_flight`` (from the argument, the
+:class:`~repro.config.RuntimeConfig`, or 2x the executor's workers):
+``submit`` blocks while the cap is reached and ``stream`` never has more than
+``max_in_flight`` unconsumed jobs outstanding, so an arbitrarily large
+catalogue streams in constant memory.
+
+Determinism: each job's prompting seed derives from its catalogue key via
+``BpromDetector.inspect(seed_key=...)`` — the exact derivation the
+synchronous ``AuditService.audit`` uses — so the verdicts are bit-identical
+to the batch path; only arrival order differs.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Set, Union
+
+from repro.config import RuntimeConfig
+from repro.core.detector import BpromDetector
+from repro.prompting.blackbox import QueryFunction
+from repro.models.classifier import ImageClassifier
+from repro.runtime.executor import ExecutorSession
+from repro.runtime.service import AuditVerdict, resolve_executor
+
+
+def _audit_task(
+    detector: BpromDetector,
+    key: str,
+    model: ImageClassifier,
+    query_function: Optional[QueryFunction],
+) -> AuditVerdict:
+    """Module-level task wrapper so process-backend executors can pickle it."""
+    result = detector.inspect(model, query_function=query_function, seed_key=key)
+    return AuditVerdict(
+        name=key,
+        backdoor_score=result.backdoor_score,
+        is_backdoored=result.is_backdoored,
+        prompted_accuracy=result.prompted_accuracy,
+    )
+
+
+@dataclass
+class AuditJob:
+    """Handle to one queued audit: the catalogue key plus its pending verdict."""
+
+    key: str
+    future: "Future[AuditVerdict]" = field(repr=False)
+
+    @property
+    def done(self) -> bool:
+        return self.future.done()
+
+    def result(self, timeout: Optional[float] = None) -> AuditVerdict:
+        """Block until the verdict is available (re-raises task exceptions)."""
+        return self.future.result(timeout)
+
+
+class AsyncAuditService:
+    """Job-queue front-end over a fitted :class:`BpromDetector`.
+
+    Typical streaming usage::
+
+        service = AsyncAuditService.from_saved(path, runtime=RuntimeConfig(workers=4))
+        for verdict in service.stream(catalogue):
+            quarantine(verdict) if verdict.is_backdoored else release(verdict)
+
+    or incremental submission (e.g. catalogue entries arriving over time)::
+
+        with AsyncAuditService(detector) as service:
+            for key, model in incoming():
+                service.submit(key, model)          # blocks at max_in_flight
+            for job in service.as_completed():
+                handle(job.key, job.result())
+    """
+
+    def __init__(
+        self,
+        detector: BpromDetector,
+        runtime: Optional[RuntimeConfig] = None,
+        max_in_flight: Optional[int] = None,
+    ) -> None:
+        self.detector = detector
+        self.executor = resolve_executor(detector, runtime)
+        if max_in_flight is None and runtime is not None:
+            max_in_flight = runtime.max_in_flight
+        if max_in_flight is None:
+            max_in_flight = 2 * self.executor.workers
+        if max_in_flight < 1:
+            raise ValueError(f"max_in_flight must be >= 1, got {max_in_flight}")
+        self.max_in_flight = int(max_in_flight)
+        self._session: Optional[ExecutorSession] = None
+        self._session_cm = None
+        #: submitted jobs awaiting :meth:`as_completed`; retained until drained
+        self._jobs: Dict[Future, AuditJob] = {}
+        #: futures still computing — maintained by done-callbacks so
+        #: ``in_flight`` is O(in-flight), not O(everything ever submitted)
+        self._running: Set[Future] = set()
+        #: counting semaphore enforcing the in-flight cap; correct even with
+        #: multiple producer threads calling submit() concurrently
+        self._slots = threading.Semaphore(self.max_in_flight)
+        self._lock = threading.Lock()
+
+    @classmethod
+    def from_saved(
+        cls,
+        path: Union[str, Path],
+        runtime: Optional[RuntimeConfig] = None,
+        max_in_flight: Optional[int] = None,
+    ) -> "AsyncAuditService":
+        """Stand up a streaming service from a detector artifact on disk."""
+        return cls(
+            BpromDetector.load(path, runtime=runtime),
+            runtime=runtime,
+            max_in_flight=max_in_flight,
+        )
+
+    # -- session lifecycle ----------------------------------------------------
+    def _ensure_session(self) -> ExecutorSession:
+        with self._lock:  # concurrent first submits must not each open a pool
+            if self._session is None:
+                self._session_cm = self.executor.session()
+                self._session = self._session_cm.__enter__()
+            return self._session
+
+    def close(self) -> None:
+        """Drain outstanding jobs and shut the worker pool down."""
+        if self._session_cm is not None:
+            try:
+                self._session_cm.__exit__(None, None, None)
+            finally:
+                self._session_cm = None
+                self._session = None
+
+    def __enter__(self) -> "AsyncAuditService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- job queue ------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Number of submitted jobs that have not finished computing."""
+        with self._lock:
+            return len(self._running)
+
+    def _mark_done(self, future: Future) -> None:
+        with self._lock:
+            self._running.discard(future)
+        self._slots.release()
+
+    def submit(
+        self,
+        key: str,
+        model: ImageClassifier,
+        query_function: Optional[QueryFunction] = None,
+    ) -> AuditJob:
+        """Enqueue one audit; blocks while ``max_in_flight`` jobs are running.
+
+        The backpressure keeps producers (several threads may call ``submit``
+        concurrently) from flooding the pool's queue; with a serial executor
+        the job completes synchronously and ``submit`` never blocks.
+        Finished jobs are retained until :meth:`as_completed` drains them.
+        """
+        session = self._ensure_session()
+        self._slots.acquire()  # released by _mark_done when the job finishes
+        try:
+            future = session.submit(_audit_task, self.detector, key, model, query_function)
+        except BaseException:
+            self._slots.release()
+            raise
+        job = AuditJob(key=key, future=future)
+        with self._lock:
+            self._jobs[future] = job
+            self._running.add(future)
+        # runs immediately (in this thread) if the future is already done,
+        # e.g. on the serial backend — safe because the add happened above
+        future.add_done_callback(self._mark_done)
+        return job
+
+    def as_completed(self) -> Iterator[AuditJob]:
+        """Yield submitted jobs in completion order until the queue drains.
+
+        Each job is yielded exactly once.  Iteration ends when the job queue
+        is observed empty: jobs submitted from *this* thread while iterating
+        are picked up, but with concurrent producer threads an empty-queue
+        moment ends the iteration early — iterate after the producers finish,
+        or call ``as_completed`` again (undrained jobs are retained).
+        """
+        while True:
+            with self._lock:
+                pending = list(self._jobs)
+            if not pending:
+                return
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            # preserve submission order among simultaneously-done jobs so the
+            # serial backend yields deterministically
+            for future in [f for f in pending if f in done]:
+                with self._lock:
+                    job = self._jobs.pop(future, None)
+                if job is not None:
+                    yield job
+
+    # -- one-shot streaming ---------------------------------------------------
+    def stream(
+        self,
+        catalogue: Dict[str, ImageClassifier],
+        query_functions: Optional[Dict[str, QueryFunction]] = None,
+    ) -> Iterator[AuditVerdict]:
+        """Screen a catalogue, yielding each verdict as its model finishes.
+
+        Bit-identical to ``AuditService.audit`` on the same catalogue (the
+        per-key seed derivation is shared); only the yield order depends on
+        completion timing.  At most ``max_in_flight`` entries are outstanding
+        at once, so memory stays constant in the catalogue size.  Uses its
+        own pool session, independent of :meth:`submit` state.
+        """
+        backlog = deque(catalogue.items())
+        with self.executor.session() as session:
+            pending: Dict[Future, str] = {}
+            # a poolless session runs each submit inline, so a wider window
+            # would audit max_in_flight models before the first yield —
+            # window 1 keeps time-to-first-verdict at one audit
+            window = self.max_in_flight if session.parallel else 1
+
+            def top_up() -> None:
+                while backlog and len(pending) < window:
+                    key, model = backlog.popleft()
+                    query_function = (
+                        query_functions.get(key) if query_functions is not None else None
+                    )
+                    future = session.submit(
+                        _audit_task, self.detector, key, model, query_function
+                    )
+                    pending[future] = key
+
+            while backlog or pending:
+                top_up()
+                done, _ = wait(list(pending), return_when=FIRST_COMPLETED)
+                for future in [f for f in list(pending) if f in done]:
+                    del pending[future]
+                    # refill the freed slot before yielding: the workers keep
+                    # auditing while the consumer processes this verdict
+                    top_up()
+                    yield future.result()
+
+    def audit_streaming(
+        self,
+        catalogue: Dict[str, ImageClassifier],
+        query_functions: Optional[Dict[str, QueryFunction]] = None,
+    ) -> List[AuditVerdict]:
+        """Collect :meth:`stream` into a list ordered by catalogue key order.
+
+        Convenience for callers that want the async machinery (bounded
+        memory, overlapped prompting) but a batch-shaped report.
+        """
+        by_key = {verdict.name: verdict for verdict in self.stream(catalogue, query_functions)}
+        return [by_key[key] for key in catalogue]

@@ -1,0 +1,226 @@
+"""Sharded artifact store: one cache federated across multiple store roots.
+
+Scaling the suspicious zoo past one directory (or one machine's disk) means
+spreading artifacts across several roots while keeping the single-store
+programming model.  :class:`ShardedArtifactStore` subclasses
+:class:`~repro.runtime.store.ArtifactStore`, so every consumer of the store
+interface — ``ExperimentContext``, ``BpromDetector.fit``, the MNTD baseline's
+shadow pools, ``StagedPipeline`` — works unchanged:
+
+* **writes** land on the key's *home shard*, selected deterministically from
+  the key hash, so concurrent producers agree on placement without
+  coordination;
+* **reads** probe the home shard first and then fall through to every other
+  shard, so artifacts are found wherever they live — a store warmed as a
+  single root can be mounted as one shard of many, and shard lists may be
+  reordered or extended without invalidating anything;
+* ``rebalance()`` migrates stray artifacts to their home shards (after a
+  shard list changes) and ``gc()`` sweeps leftover temp directories and
+  manifest-less corpses.
+
+Hit/miss statistics are kept both in aggregate (on the sharded store itself)
+and per shard (on the federated child stores), which is what the serving
+dashboards need to spot a cold or missing shard.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import uuid
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.runtime.store import (
+    _MANIFEST,
+    MISS,
+    Artifact,
+    ArtifactStore,
+    PathLike,
+    key_hash,
+)
+
+
+class ShardedArtifactStore(ArtifactStore):
+    """Federates several :class:`ArtifactStore` roots behind one interface.
+
+    ``shard_dirs`` is an ordered list of root directories; a key's home shard
+    is ``int(key_hash, 16) % len(shards)``.  The order therefore matters for
+    *placement* but never for *visibility*: reads fall through across all
+    shards.
+    """
+
+    def __init__(self, shard_dirs: Sequence[PathLike], enabled: bool = True) -> None:
+        if isinstance(shard_dirs, (str, Path)):  # one root, not a char sequence
+            shard_dirs = [shard_dirs]
+        roots = [Path(directory) for directory in shard_dirs]
+        if not roots:
+            raise ValueError("ShardedArtifactStore requires at least one shard directory")
+        # resolve before comparing: two spellings (or symlink aliases) of one
+        # directory would make rebalance() treat an artifact as its own
+        # duplicate and delete the only copy
+        if len({str(root.resolve()) for root in roots}) != len(roots):
+            raise ValueError(f"duplicate shard directories: {[str(r) for r in roots]}")
+        super().__init__(roots[0], enabled=enabled)
+        self.shards: List[ArtifactStore] = [
+            ArtifactStore(root, enabled=self.enabled) for root in roots
+        ]
+
+    # -- addressing -----------------------------------------------------------
+    def shard_index(self, key: Any) -> int:
+        """Deterministic home-shard index of a key (stable across processes)."""
+        return int(key_hash(key), 16) % len(self.shards)
+
+    def shard_for(self, key: Any) -> ArtifactStore:
+        """The home shard of a key: where new writes for it land."""
+        return self.shards[self.shard_index(key)]
+
+    def directory_for(self, kind: str, key: Any) -> Path:
+        return self.shard_for(key).directory_for(kind, key)
+
+    def _locate(self, kind: str, key: Any) -> Optional[ArtifactStore]:
+        """The shard currently holding the artifact (home first), if any."""
+        home = self.shard_index(key)
+        for index in range(len(self.shards)):
+            shard = self.shards[(home + index) % len(self.shards)]
+            if shard.contains(kind, key):
+                return shard
+        return None
+
+    def contains(self, kind: str, key: Any) -> bool:
+        if not self.enabled:
+            return False
+        return self._locate(kind, key) is not None
+
+    # -- read / write ---------------------------------------------------------
+    def open_read(self, kind: str, key: Any) -> Artifact:
+        shard = self._locate(kind, key)
+        if shard is None:
+            raise KeyError(
+                f"no {kind!r} artifact for key hash {key_hash(key)} in any of "
+                f"{len(self.shards)} shards"
+            )
+        return shard.open_read(kind, key)
+
+    # open_write is inherited: it resolves through directory_for, which points
+    # at the home shard, and keeps the same atomic temp-dir-then-rename path.
+
+    def try_load(self, kind: str, key: Any, load: Callable[[Artifact], Any]) -> Any:
+        """Read-through lookup; counts aggregate and per-shard hits/misses.
+
+        Probes shards in home-first order and keeps going past a corrupt copy
+        (which the owning shard discards), so an intact replica on another
+        shard still serves the read.
+        """
+        if not self.enabled:
+            self.misses += 1
+            return MISS
+        home = self.shard_index(key)
+        probed = False
+        for offset in range(len(self.shards)):
+            shard = self.shards[(home + offset) % len(self.shards)]
+            if not shard.contains(kind, key):
+                continue
+            probed = True
+            value = shard.try_load(kind, key, load)
+            if value is not MISS:
+                self.hits += 1
+                return value
+            # corrupt copy discarded (and counted) by that shard; fall through
+        self.misses += 1
+        if not probed:  # absent everywhere: charge the home shard
+            self.shard_for(key).misses += 1
+        return MISS
+
+    # -- statistics -----------------------------------------------------------
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-shard ``{root: {hits, misses, artifacts}}`` serving statistics."""
+        payload: Dict[str, Dict[str, int]] = {}
+        for shard in self.shards:
+            artifacts = sum(1 for _ in self._iter_artifact_dirs(shard))
+            payload[str(shard.root)] = {
+                "hits": shard.hits,
+                "misses": shard.misses,
+                "artifacts": artifacts,
+            }
+        return payload
+
+    @staticmethod
+    def _iter_artifact_dirs(shard: ArtifactStore) -> Iterator[Tuple[str, Path]]:
+        """Yield ``(kind, directory)`` for every complete artifact in a shard."""
+        if shard.root is None or not shard.root.exists():
+            return
+        for kind_dir in sorted(path for path in shard.root.iterdir() if path.is_dir()):
+            for artifact_dir in sorted(path for path in kind_dir.iterdir() if path.is_dir()):
+                if artifact_dir.name.startswith(".tmp-"):
+                    continue
+                if (artifact_dir / f"{_MANIFEST}.json").exists():
+                    yield kind_dir.name, artifact_dir
+
+    # -- maintenance ----------------------------------------------------------
+    def rebalance(self) -> Dict[str, int]:
+        """Migrate every artifact to its home shard.
+
+        The artifact directory name *is* the key hash, so homes are computed
+        without reading manifests.  First-wins on conflict: if the home shard
+        already holds the artifact, the stray copy is dropped.  Run this after
+        changing the shard list; like ``gc`` it assumes no concurrent writers.
+        Returns ``{"moved": ..., "kept": ..., "dropped_duplicates": ...}``.
+        """
+        moved = kept = dropped = 0
+        # snapshot before moving anything, so an artifact migrated into a
+        # later-iterated shard is not revisited (and double-counted)
+        snapshot = [
+            (index, kind, artifact_dir)
+            for index, shard in enumerate(self.shards)
+            for kind, artifact_dir in self._iter_artifact_dirs(shard)
+        ]
+        for index, kind, artifact_dir in snapshot:
+            home = int(artifact_dir.name, 16) % len(self.shards)
+            if home == index:
+                kept += 1
+                continue
+            destination = self.shards[home].root / kind / artifact_dir.name
+            if destination.exists():
+                shutil.rmtree(artifact_dir, ignore_errors=True)
+                dropped += 1
+            else:
+                destination.parent.mkdir(parents=True, exist_ok=True)
+                # cross-device moves are copy-then-delete, so stage into a
+                # .tmp- name and rename: readers (and a crash) never see a
+                # half-copied directory behind a manifest, and gc() sweeps
+                # an interrupted staging dir
+                temp = destination.parent / f".tmp-{destination.name}-{uuid.uuid4().hex[:8]}"
+                shutil.move(str(artifact_dir), str(temp))
+                os.replace(temp, destination)
+                moved += 1
+        return {"moved": moved, "kept": kept, "dropped_duplicates": dropped}
+
+    def gc(self) -> Dict[str, int]:
+        """Sweep crash leftovers: temp dirs and manifest-less artifact dirs.
+
+        Assumes no writer is active (a temp dir belonging to an in-progress
+        write would be collected).  Returns
+        ``{"temp_dirs": ..., "corrupt_artifacts": ...}``.
+        """
+        temp_dirs = corrupt = 0
+        for shard in self.shards:
+            if shard.root is None or not shard.root.exists():
+                continue
+            for kind_dir in sorted(path for path in shard.root.iterdir() if path.is_dir()):
+                for child in sorted(path for path in kind_dir.iterdir() if path.is_dir()):
+                    if child.name.startswith(".tmp-"):
+                        shutil.rmtree(child, ignore_errors=True)
+                        temp_dirs += 1
+                    elif not (child / f"{_MANIFEST}.json").exists():
+                        shutil.rmtree(child, ignore_errors=True)
+                        corrupt += 1
+        return {"temp_dirs": temp_dirs, "corrupt_artifacts": corrupt}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "enabled" if self.enabled else "disabled"
+        roots = [str(shard.root) for shard in self.shards]
+        return (
+            f"ShardedArtifactStore(shards={roots}, {state}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

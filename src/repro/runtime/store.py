@@ -97,6 +97,12 @@ class Artifact:
 
 _MANIFEST = "artifact"  # artifact.json, written into the temp dir before rename
 
+#: sentinel distinguishing "no artifact" from an artifact whose value is None;
+#: returning ``None`` for a miss would make a legitimately-``None`` artefact
+#: rebuild forever.  ``MISS`` is the public name for callers of ``try_load``.
+_MISS = object()
+MISS = _MISS
+
 
 class ArtifactStore:
     """Persistent cache mapping ``(kind, key payload)`` to artifact directories.
@@ -113,9 +119,19 @@ class ArtifactStore:
 
     @classmethod
     def from_config(cls, runtime: Optional[RuntimeConfig]) -> "ArtifactStore":
+        """Build the store a runtime config describes.
+
+        ``shard_dirs`` supersedes ``cache_dir``: configuring shard roots
+        returns a :class:`~repro.runtime.sharding.ShardedArtifactStore`
+        federating them behind this same interface.
+        """
         if runtime is None:
-            return cls(None, enabled=False)
-        return cls(runtime.cache_dir, enabled=runtime.persistent)
+            return ArtifactStore(None, enabled=False)
+        if runtime.shard_dirs:
+            from repro.runtime.sharding import ShardedArtifactStore
+
+            return ShardedArtifactStore(runtime.shard_dirs, enabled=runtime.cache)
+        return ArtifactStore(runtime.cache_dir, enabled=runtime.persistent)
 
     # -- addressing -----------------------------------------------------------
     def directory_for(self, kind: str, key: Any) -> Path:
@@ -170,17 +186,20 @@ class ArtifactStore:
             raise
 
     # -- the memoisation primitive --------------------------------------------
-    def try_load(
-        self, kind: str, key: Any, load: Callable[[Artifact], Any]
-    ) -> Optional[Any]:
-        """The loaded artifact value, or ``None`` if absent or unreadable.
+    def try_load(self, kind: str, key: Any, load: Callable[[Artifact], Any]) -> Any:
+        """The loaded artifact value, or the :data:`MISS` sentinel.
 
-        A corrupt artifact (e.g. a blob deleted from under an intact
-        manifest) is treated as a cache miss: the caller rebuilds instead of
-        crashing on a half-present directory.
+        The sentinel (rather than ``None``) signals absence, so an artefact
+        whose legitimate value is ``None`` is served from cache instead of
+        rebuilding forever.  A corrupt artifact (e.g. a blob deleted from
+        under an intact manifest) is discarded and reported as a miss: the
+        caller rebuilds instead of crashing on a half-present directory.
+        Every lookup counts exactly one hit or one miss, corrupt path
+        included.
         """
         if not self.contains(kind, key):
-            return None
+            self.misses += 1
+            return _MISS
         try:
             value = load(self.open_read(kind, key))
         except Exception as exc:
@@ -188,7 +207,8 @@ class ArtifactStore:
                 f"discarding corrupt {kind!r} artifact {key_hash(key)}: {exc!r}; rebuilding"
             )
             shutil.rmtree(self.directory_for(kind, key), ignore_errors=True)
-            return None
+            self.misses += 1
+            return _MISS
         self.hits += 1
         return value
 
@@ -208,9 +228,10 @@ class ArtifactStore:
         """
         if load is not None:
             value = self.try_load(kind, key, load)
-            if value is not None:
+            if value is not _MISS:
                 return value
-        self.misses += 1
+        else:
+            self.misses += 1
         value = build()
         if save is not None and self.enabled:
             with self.open_write(kind, key) as artifact:

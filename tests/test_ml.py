@@ -65,6 +65,21 @@ def test_roc_curve_endpoints():
     assert len(fpr) == len(tpr) == len(thresholds)
 
 
+def test_roc_curve_single_class_returns_chance_diagonal():
+    """Single-class labels follow auroc's 0.5 degenerate-split convention."""
+    for labels in (np.zeros(4, dtype=int), np.ones(4, dtype=int)):
+        scores = np.array([0.1, 0.4, 0.2, 0.9])
+        fpr, tpr, thresholds = roc_curve(scores, labels)
+        np.testing.assert_array_equal(fpr, [0.0, 1.0])
+        np.testing.assert_array_equal(tpr, [0.0, 1.0])
+        assert thresholds[0] == np.inf
+        # trapezoid area under the diagonal matches auroc's convention
+        # (np.trapz was renamed np.trapezoid in numpy 2.0)
+        trapezoid = getattr(np, "trapezoid", getattr(np, "trapz", None))
+        assert float(trapezoid(tpr, fpr)) == pytest.approx(0.5)
+        assert auroc(scores, labels) == 0.5
+
+
 def test_f1_and_precision_recall():
     predictions = np.array([1, 1, 0, 0, 1])
     labels = np.array([1, 0, 0, 1, 1])

@@ -89,6 +89,26 @@ def test_store_recovers_from_corrupt_artifact(tmp_path):
     )
 
 
+def test_store_caches_none_valued_artifact(tmp_path):
+    """A legitimately-``None`` artefact is a hit, not an eternal rebuild."""
+    store = ArtifactStore(tmp_path)
+    builds = []
+
+    def fetch():
+        return store.fetch(
+            "maybe",
+            {"k": 1},
+            build=lambda: builds.append(1) and None,
+            save=lambda artifact, value: artifact.save_json("value", value),
+            load=lambda artifact: artifact.load_json("value"),
+        )
+
+    assert fetch() is None
+    assert fetch() is None
+    assert builds == [1], "None-valued artifact must not rebuild on a warm store"
+    assert store.hits == 1 and store.misses == 1
+
+
 def test_store_fetch_memoises_on_disk(tmp_path):
     store = ArtifactStore(tmp_path)
     builds = []

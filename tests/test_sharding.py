@@ -1,0 +1,275 @@
+"""Tests for the sharded artifact store: home-shard placement, read-through
+across shards, per-shard stats, rebalance/gc maintenance, and the acceptance
+property that a warm multi-shard store skips all training regardless of which
+shard holds each artefact."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.eval.harness import ExperimentContext
+from repro.models.classifier import ImageClassifier
+from repro.runtime import ArtifactStore, ShardedArtifactStore
+from repro.runtime.store import MISS
+
+
+def _keys_for_every_shard(store: ShardedArtifactStore, per_shard: int = 1):
+    """Key payloads covering each shard as home at least ``per_shard`` times."""
+    found = {index: [] for index in range(len(store.shards))}
+    probe = 0
+    while any(len(keys) < per_shard for keys in found.values()):
+        key = {"probe": probe}
+        found[store.shard_index(key)].append(key)
+        probe += 1
+    return [key for keys in found.values() for key in keys[:per_shard]]
+
+
+# ---------------------------------------------------------------------------
+# placement and read-through
+# ---------------------------------------------------------------------------
+
+def test_writes_land_on_deterministic_home_shard(tmp_path):
+    store = ShardedArtifactStore([tmp_path / "a", tmp_path / "b", tmp_path / "c"])
+    for key in _keys_for_every_shard(store):
+        with store.open_write("demo", key) as artifact:
+            artifact.save_json("value", key)
+        home = store.shard_for(key)
+        assert home.contains("demo", key)
+        assert sum(shard.contains("demo", key) for shard in store.shards) == 1
+        # a fresh instance over the same roots agrees on placement
+        again = ShardedArtifactStore([tmp_path / "a", tmp_path / "b", tmp_path / "c"])
+        assert again.shard_index(key) == store.shard_index(key)
+
+
+def test_read_through_finds_artifacts_on_any_shard(tmp_path):
+    store = ShardedArtifactStore([tmp_path / "a", tmp_path / "b"])
+    keys = _keys_for_every_shard(store, per_shard=2)
+    for key in keys:
+        with store.open_write("demo", key) as artifact:
+            artifact.save_arrays("blob", {"x": np.full(3, float(key["probe"]))})
+    # reversing the shard list flips every key's home directory, so every
+    # lookup must fall through to the non-home shard
+    reversed_store = ShardedArtifactStore([tmp_path / "b", tmp_path / "a"])
+    for key in keys:
+        assert reversed_store.contains("demo", key)
+        value = reversed_store.try_load("demo", key, lambda a: a.load_arrays("blob"))
+        assert value is not MISS
+        np.testing.assert_array_equal(value["x"], np.full(3, float(key["probe"])))
+    assert reversed_store.hits == len(keys)
+    assert reversed_store.try_load("demo", {"absent": 1}, lambda a: None) is MISS
+    assert reversed_store.misses == 1
+
+
+def test_corrupt_home_copy_falls_through_to_intact_replica(tmp_path):
+    """A corrupt copy on one shard must not mask a good replica on another."""
+    store = ShardedArtifactStore([tmp_path / "a", tmp_path / "b"])
+    key = {"k": 1}
+    # replicate the artifact on both shards (two independently warmed roots)
+    for shard in store.shards:
+        with ArtifactStore(shard.root).open_write("demo", key) as artifact:
+            artifact.save_arrays("blob", {"x": np.ones(3)})
+    # corrupt the copy the home-first probe reaches first
+    home = store.shard_for(key)
+    (home.directory_for("demo", key) / "blob.npz").unlink()
+    with pytest.warns(UserWarning, match="corrupt"):
+        value = store.try_load("demo", key, lambda a: a.load_arrays("blob"))
+    assert value is not MISS, "intact replica on the other shard must serve the read"
+    np.testing.assert_array_equal(value["x"], np.ones(3))
+    assert store.hits == 1
+    assert not home.contains("demo", key)  # the corrupt copy was discarded
+
+
+def test_per_shard_stats(tmp_path):
+    store = ShardedArtifactStore([tmp_path / "a", tmp_path / "b"])
+    keys = _keys_for_every_shard(store)
+    for key in keys:
+        with store.open_write("demo", key) as artifact:
+            artifact.save_json("value", 1)
+        assert store.try_load("demo", key, lambda a: a.load_json("value")) == 1
+    stats = store.stats()
+    assert set(stats) == {str(tmp_path / "a"), str(tmp_path / "b")}
+    assert all(entry == {"hits": 1, "misses": 0, "artifacts": 1} for entry in stats.values())
+    assert store.hits == 2 and store.misses == 0
+
+
+def test_sharded_fetch_behaves_like_single_store(tmp_path):
+    store = ShardedArtifactStore([tmp_path / "a", tmp_path / "b"])
+    builds = []
+
+    def fetch():
+        return store.fetch(
+            "numbers",
+            {"k": 1},
+            build=lambda: builds.append(1) or {"x": np.ones(3)},
+            save=lambda artifact, value: artifact.save_arrays("value", value),
+            load=lambda artifact: artifact.load_arrays("value"),
+        )
+
+    first = fetch()
+    second = fetch()
+    assert len(builds) == 1
+    np.testing.assert_array_equal(first["x"], second["x"])
+    assert store.hits == 1 and store.misses == 1
+
+
+def test_sharded_store_rejects_bad_config(tmp_path):
+    with pytest.raises(ValueError):
+        ShardedArtifactStore([])
+    with pytest.raises(ValueError):
+        ShardedArtifactStore([tmp_path / "a", tmp_path / "a"])
+    # two spellings of one directory would make rebalance() self-destruct
+    with pytest.raises(ValueError):
+        ShardedArtifactStore([tmp_path / "a", tmp_path / "b" / ".." / "a"])
+
+
+def test_single_path_becomes_one_shard(tmp_path):
+    """A bare string/Path is one root, not a per-character sequence."""
+    store = ShardedArtifactStore(str(tmp_path / "only"))
+    assert [str(shard.root) for shard in store.shards] == [str(tmp_path / "only")]
+    runtime = RuntimeConfig(shard_dirs=str(tmp_path / "only"))
+    assert runtime.shard_dirs == (str(tmp_path / "only"),)
+    # a bare Path is accepted the same way a bare str is
+    assert RuntimeConfig(shard_dirs=tmp_path / "only").shard_dirs == (str(tmp_path / "only"),)
+
+
+# ---------------------------------------------------------------------------
+# maintenance: rebalance and gc
+# ---------------------------------------------------------------------------
+
+def test_rebalance_moves_artifacts_home(tmp_path):
+    store = ShardedArtifactStore([tmp_path / "a", tmp_path / "b"])
+    keys = _keys_for_every_shard(store, per_shard=2)
+    for key in keys:
+        with store.open_write("demo", key) as artifact:
+            artifact.save_json("value", key["probe"])
+    # under the reversed order every artifact sits on the wrong shard
+    reversed_store = ShardedArtifactStore([tmp_path / "b", tmp_path / "a"])
+    summary = reversed_store.rebalance()
+    assert summary == {"moved": len(keys), "kept": 0, "dropped_duplicates": 0}
+    for key in keys:
+        assert reversed_store.shard_for(key).contains("demo", key)
+        assert reversed_store.try_load("demo", key, lambda a: a.load_json("value")) == key["probe"]
+    # idempotent: a second pass keeps everything in place
+    assert reversed_store.rebalance() == {
+        "moved": 0,
+        "kept": len(keys),
+        "dropped_duplicates": 0,
+    }
+
+
+def test_rebalance_drops_duplicate_copies(tmp_path):
+    store = ShardedArtifactStore([tmp_path / "a", tmp_path / "b"])
+    key = {"k": 1}
+    with store.open_write("demo", key) as artifact:
+        artifact.save_json("value", "home")
+    # plant a stray copy of the same artifact on the other shard
+    stray = store.shards[1 - store.shard_index(key)]
+    with ArtifactStore(stray.root).open_write("demo", key) as artifact:
+        artifact.save_json("value", "stray")
+    summary = store.rebalance()
+    assert summary["dropped_duplicates"] == 1
+    assert store.try_load("demo", key, lambda a: a.load_json("value")) == "home"
+    assert sum(shard.contains("demo", key) for shard in store.shards) == 1
+
+
+def test_gc_sweeps_temp_dirs_and_corrupt_artifacts(tmp_path):
+    store = ShardedArtifactStore([tmp_path / "a", tmp_path / "b"])
+    key = {"k": 1}
+    with store.open_write("demo", key) as artifact:
+        artifact.save_json("value", 1)
+    (tmp_path / "a" / "demo" / ".tmp-crashed-writer").mkdir(parents=True)
+    corpse = tmp_path / "b" / "demo" / "deadbeefdeadbeefdead"
+    corpse.mkdir(parents=True)
+    (corpse / "value.json").write_text("{}")  # no manifest -> corrupt
+    assert store.gc() == {"temp_dirs": 1, "corrupt_artifacts": 1}
+    assert not (tmp_path / "a" / "demo" / ".tmp-crashed-writer").exists()
+    assert not corpse.exists()
+    assert store.contains("demo", key)
+    assert store.gc() == {"temp_dirs": 0, "corrupt_artifacts": 0}
+
+
+# ---------------------------------------------------------------------------
+# config wiring
+# ---------------------------------------------------------------------------
+
+def test_runtime_config_shard_dirs(tmp_path, monkeypatch):
+    runtime = RuntimeConfig(shard_dirs=[str(tmp_path / "a"), str(tmp_path / "b")])
+    assert runtime.shard_dirs == (str(tmp_path / "a"), str(tmp_path / "b"))
+    assert runtime.persistent  # shard_dirs alone make the store persistent
+    assert not runtime.with_overrides(cache=False).persistent
+    store = ArtifactStore.from_config(runtime)
+    assert isinstance(store, ShardedArtifactStore)
+    assert [str(shard.root) for shard in store.shards] == list(runtime.shard_dirs)
+
+    import os
+
+    monkeypatch.setenv(
+        "REPRO_SHARD_DIRS", os.pathsep.join([str(tmp_path / "x"), str(tmp_path / "y")])
+    )
+    monkeypatch.setenv("REPRO_MAX_IN_FLIGHT", "7")
+    from_env = RuntimeConfig.from_env()
+    assert from_env.shard_dirs == (str(tmp_path / "x"), str(tmp_path / "y"))
+    assert from_env.max_in_flight == 7
+
+    with pytest.raises(ValueError):
+        RuntimeConfig(max_in_flight=0)
+
+
+# ---------------------------------------------------------------------------
+# acceptance: warm two-shard store skips all training, wherever artefacts live
+# ---------------------------------------------------------------------------
+
+def test_warm_two_shard_store_skips_all_training(micro_profile, tmp_path, monkeypatch):
+    shard_a, shard_b = str(tmp_path / "shard-a"), str(tmp_path / "shard-b")
+    profile = micro_profile.with_overrides(name="micro-sharded")
+
+    warm = ExperimentContext(
+        profile, seed=0, runtime=RuntimeConfig(shard_dirs=(shard_a, shard_b))
+    )
+    assert isinstance(warm.store, ShardedArtifactStore)
+    detector = warm.detector(
+        "cifar10", "stl10", "mlp", num_clean_shadows=1, num_backdoor_shadows=1
+    )
+    probe = warm.suspicious_model("cifar10", None, 0, "mlp")
+    baseline_score = detector.inspect(probe.classifier).backdoor_score
+    # the warm run actually spread artefacts across both roots
+    populated = [
+        root for root, entry in warm.store.stats().items() if entry["artifacts"] > 0
+    ]
+    assert len(populated) == 2, f"expected both shards populated, got {warm.store.stats()}"
+
+    fit_calls = []
+    original_fit = ImageClassifier.fit
+
+    def counting_fit(self, *args, **kwargs):
+        fit_calls.append(self.name)
+        return original_fit(self, *args, **kwargs)
+
+    monkeypatch.setattr(ImageClassifier, "fit", counting_fit)
+    import repro.prompting.trainer as trainer_module
+
+    prompt_calls = []
+    original_prompt = trainer_module.train_prompt_whitebox
+
+    def counting_prompt(*args, **kwargs):
+        prompt_calls.append(1)
+        return original_prompt(*args, **kwargs)
+
+    monkeypatch.setattr(trainer_module, "train_prompt_whitebox", counting_prompt)
+
+    # a fresh context with the shard order *reversed*: every artefact's home
+    # shard flips, so each read must fall through to the other shard —
+    # training is skipped regardless of which shard holds each artefact
+    cold = ExperimentContext(
+        profile, seed=0, runtime=RuntimeConfig(shard_dirs=(shard_b, shard_a))
+    )
+    restored = cold.detector(
+        "cifar10", "stl10", "mlp", num_clean_shadows=1, num_backdoor_shadows=1
+    )
+    probe_again = cold.suspicious_model("cifar10", None, 0, "mlp")
+    assert fit_calls == [], "warm sharded store must skip classifier training entirely"
+    assert prompt_calls == [], "warm sharded store must skip prompt training entirely"
+    assert cold.store.hits >= 1
+    assert restored.inspect(probe_again.classifier).backdoor_score == baseline_score
