@@ -84,7 +84,10 @@ def main() -> None:
             if first_verdict_s is None:
                 first_verdict_s = time.perf_counter() - start
             action = "REJECT / quarantine" if verdict.is_backdoored else "accept"
-            print(f"{verdict.name:24s} backdoor score {verdict.backdoor_score:.3f} -> {action}")
+            print(
+                f"{verdict.name:24s} backdoor score {verdict.backdoor_score:.3f} "
+                f"({verdict.query_count} queries in {verdict.query_calls} calls) -> {action}"
+            )
             if verdict.is_backdoored and verdict.name in attacks:
                 quarantined.append(verdict.name)
         # STRIP runs after the timed loop so the reported throughput measures

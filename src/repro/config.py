@@ -57,6 +57,10 @@ class PromptConfig:
     blackbox_iterations: int = 30
     #: CMA-ES population size (None -> 4 + 3*log(dim) heuristic, capped)
     blackbox_population: int | None = 8
+    #: evaluate each generation's whole candidate population as one megabatch
+    #: query (True, the fast path) or one query per candidate (False, the
+    #: sequential fallback); both paths produce equivalent optimisation runs
+    blackbox_batched: bool = True
 
 
 @dataclass(frozen=True)

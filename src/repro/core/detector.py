@@ -34,7 +34,7 @@ from repro.core.prompting_stage import prompt_shadow_models, prompt_suspicious_m
 from repro.core.shadow import ShadowModel, ShadowModelFactory
 from repro.datasets.base import ImageDataset
 from repro.models.classifier import ImageClassifier
-from repro.prompting.blackbox import QueryFunction
+from repro.prompting.blackbox import QueryCounter, QueryFunction
 from repro.prompting.prompted import PromptedClassifier
 from repro.runtime.executor import ParallelExecutor
 from repro.runtime.pipeline import Stage, StagedPipeline
@@ -63,6 +63,13 @@ class DetectionResult:
     prompted_accuracy: float
     #: the prompted suspicious model, for further analysis
     prompted_model: Optional[PromptedClassifier] = field(repr=False, default=None)
+    #: black-box query budget spent prompting this model (images whose
+    #: confidence vectors were requested — the paper's query-count metric)
+    query_count: int = 0
+    #: round-trips to the query endpoint; the batched engine collapses each
+    #: CMA-ES generation into one call, so this is ~lambda x smaller than the
+    #: sequential path at identical ``query_count``
+    query_calls: int = 0
 
 
 def _shadow_pool_fingerprint(pool: Sequence[ShadowModel]) -> str:
@@ -340,6 +347,7 @@ class BpromDetector:
         suspicious: ImageClassifier,
         query_function: Optional[QueryFunction] = None,
         seed_key: Optional[str] = None,
+        query_counter: Optional[QueryCounter] = None,
     ) -> PromptedClassifier:
         """Black-box prompt the suspicious model on ``D_T`` (no gradients used).
 
@@ -357,6 +365,7 @@ class BpromDetector:
             profile=self.profile,
             seed=derive_seed(self.seed, "suspicious", seed_key),
             query_function=query_function,
+            query_counter=query_counter,
         )
 
     def inspect(
@@ -369,17 +378,38 @@ class BpromDetector:
         """Decide whether ``suspicious`` carries a backdoor."""
         if not self._fitted:
             raise RuntimeError("fit must be called before inspecting models")
+        counter = QueryCounter()
         prompted = self.prompt_suspicious(
-            suspicious, query_function=query_function, seed_key=seed_key
+            suspicious,
+            query_function=query_function,
+            seed_key=seed_key,
+            query_counter=counter,
         )
-        score = self.meta_classifier.backdoor_score(prompted)
         eval_set = target_eval if target_eval is not None else self.meta_classifier.query_pool
-        prompted_accuracy = prompted.evaluate(eval_set) if eval_set is not None else float("nan")
+        if target_eval is None and self.meta_classifier.query_pool is not None:
+            # the meta-features and the prompted-accuracy signal both read the
+            # prompted model over the same query pool — one batched query
+            # serves both (identical numbers to the two-pass path)
+            probabilities = prompted.predict_source_proba(
+                self.meta_classifier.query_pool.images
+            )
+            score = self.meta_classifier.score_from_source_proba(probabilities)
+            predictions = np.argmax(
+                prompted.mapping.map_probabilities(probabilities), axis=1
+            )
+            prompted_accuracy = float(np.mean(predictions == eval_set.labels))
+        else:
+            score = self.meta_classifier.backdoor_score(prompted)
+            prompted_accuracy = (
+                prompted.evaluate(eval_set) if eval_set is not None else float("nan")
+            )
         return DetectionResult(
             backdoor_score=score,
             is_backdoored=score >= self.threshold,
             prompted_accuracy=prompted_accuracy,
             prompted_model=prompted,
+            query_count=counter.images,
+            query_calls=counter.calls,
         )
 
     def inspect_many(

@@ -79,8 +79,18 @@ class MetaClassifier:
 
     def feature_rows(self, prompted: PromptedClassifier) -> np.ndarray:
         """All augmented feature vectors for one prompted model, shape (aug, q*K_S)."""
-        subsets = self._require_queries()
         probabilities = prompted.predict_source_proba(self.query_pool.images)
+        return self.feature_rows_from_source_proba(probabilities)
+
+    def feature_rows_from_source_proba(self, probabilities: np.ndarray) -> np.ndarray:
+        """Feature rows from precomputed pool confidence vectors.
+
+        Lets callers that already hold the prompted model's confidence vectors
+        over the whole query pool (e.g. ``BpromDetector.inspect``, which also
+        needs them for the prompted-accuracy signal) build meta-features
+        without querying the model a second time.
+        """
+        subsets = self._require_queries()
         rows = [probabilities[subset].ravel() for subset in subsets]
         return np.stack(rows)
 
@@ -127,9 +137,17 @@ class MetaClassifier:
     # -- inference -------------------------------------------------------------------
     def backdoor_score(self, prompted: PromptedClassifier) -> float:
         """Probability-like score that the prompted model hides a backdoor."""
+        rows = self.feature_rows(prompted)
+        return self.score_feature_rows(rows)
+
+    def score_from_source_proba(self, probabilities: np.ndarray) -> float:
+        """:meth:`backdoor_score` from precomputed pool confidence vectors."""
+        return self.score_feature_rows(self.feature_rows_from_source_proba(probabilities))
+
+    def score_feature_rows(self, rows: np.ndarray) -> float:
+        """Average meta-classifier score over a model's augmented feature rows."""
         if self._model is None:
             raise RuntimeError("meta-classifier has not been fitted")
-        rows = self.feature_rows(prompted)
         if isinstance(self._model, RandomForestClassifier):
             probabilities = self._model.predict_proba(rows)
             positive = probabilities[:, 1] if probabilities.shape[1] > 1 else probabilities[:, 0]

@@ -14,7 +14,7 @@ from repro.prompting import (
     train_prompt_blackbox,
     train_prompt_whitebox,
 )
-from repro.prompting.blackbox import QueryFunction
+from repro.prompting.blackbox import QueryCounter, QueryFunction
 from repro.utils.rng import SeedLike, derive_seed, normalize_seed
 
 
@@ -69,8 +69,14 @@ def prompt_suspicious_model(
     mapping_mode: str = "identity",
     query_function: Optional[QueryFunction] = None,
     num_source_classes: Optional[int] = None,
+    query_counter: Optional[QueryCounter] = None,
 ) -> PromptedClassifier:
-    """Learn a visual prompt for the suspicious model using black-box queries only."""
+    """Learn a visual prompt for the suspicious model using black-box queries only.
+
+    ``query_counter`` collects the run's query budget (images sent through the
+    query function); the counter is also attached to the returned prompted
+    classifier either way.
+    """
     profile = profile or FAST
     base_seed = normalize_seed(seed)
     return train_prompt_blackbox(
@@ -82,4 +88,5 @@ def prompt_suspicious_model(
         name=f"prompted-{suspicious.name}",
         query_function=query_function,
         num_source_classes=num_source_classes,
+        query_counter=query_counter,
     )

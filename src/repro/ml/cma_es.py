@@ -11,19 +11,56 @@ access.  This module provides three interchangeable minimisers:
 * :class:`RandomSearch` — Gaussian random search baseline for ablations.
 
 All three expose ``minimize(objective, x0) -> OptimizationResult`` where
-``objective`` maps a parameter vector to a scalar loss.
+``objective`` maps a parameter vector to a scalar loss.  They additionally
+support a *batch-objective protocol* for query-efficient black-box access:
+``minimize(None, x0, batch_objective=fn)`` hands the whole ``(lambda, dim)``
+candidate matrix of each generation to one callback returning ``(lambda,)``
+losses — the RNG stream, selection and update math are exactly those of the
+sequential path, so results are equivalent; only the number of callback
+invocations (one per generation instead of one per candidate) changes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 import numpy as np
 
 from repro.utils.rng import SeedLike, new_rng
 
 Objective = Callable[[np.ndarray], float]
+#: maps a (lambda, dim) candidate matrix to a (lambda,) loss vector
+BatchObjective = Callable[[np.ndarray], np.ndarray]
+
+
+def resolve_batch_objective(
+    objective: Optional[Objective],
+    batch_objective: Optional[BatchObjective],
+) -> BatchObjective:
+    """The evaluation callback an optimiser actually runs: the batched one if
+    given, otherwise the scalar objective looped row by row (the sequential
+    path).  Exactly one of the two must be provided."""
+    if batch_objective is not None:
+        return batch_objective
+    if objective is None:
+        raise ValueError("provide either objective or batch_objective")
+
+    def sequential(candidates: np.ndarray) -> np.ndarray:
+        return np.array([float(objective(candidate)) for candidate in candidates])
+
+    return sequential
+
+
+def _evaluate(batch: BatchObjective, candidates: np.ndarray) -> np.ndarray:
+    """Run the batch callback and validate its ``(lambda,)`` return shape."""
+    values = np.asarray(batch(candidates), dtype=np.float64).ravel()
+    if values.shape[0] != candidates.shape[0]:
+        raise ValueError(
+            f"batch objective returned {values.shape[0]} losses for "
+            f"{candidates.shape[0]} candidates"
+        )
+    return values
 
 
 @dataclass
@@ -60,7 +97,13 @@ class CMAES:
         self.initial_sigma = float(sigma)
         self._rng = new_rng(rng)
 
-    def minimize(self, objective: Objective, x0: np.ndarray) -> OptimizationResult:
+    def minimize(
+        self,
+        objective: Optional[Objective],
+        x0: np.ndarray,
+        batch_objective: Optional[BatchObjective] = None,
+    ) -> OptimizationResult:
+        evaluate = resolve_batch_objective(objective, batch_objective)
         x0 = np.asarray(x0, dtype=np.float64).ravel()
         dim = x0.size
         lam = self.population or min(4 + int(3 * np.log(dim + 1)), 16)
@@ -83,7 +126,7 @@ class CMAES:
         chi_n = np.sqrt(dim) * (1 - 1 / (4 * dim) + 1 / (21 * dim**2))
 
         best_x = x0.copy()
-        best_value = float(objective(x0))
+        best_value = float(_evaluate(evaluate, x0[None])[0])
         history = [best_value]
         evaluations = 1
 
@@ -91,7 +134,7 @@ class CMAES:
             std = np.sqrt(np.maximum(diag_cov, 1e-12))
             noise = self._rng.normal(size=(lam, dim))
             candidates = mean + sigma * noise * std
-            values = np.array([float(objective(c)) for c in candidates])
+            values = _evaluate(evaluate, candidates)
             evaluations += lam
             order = np.argsort(values)
             if values[order[0]] < best_value:
@@ -145,18 +188,25 @@ class SPSA:
         self.perturbation = float(perturbation)
         self._rng = new_rng(rng)
 
-    def minimize(self, objective: Objective, x0: np.ndarray) -> OptimizationResult:
+    def minimize(
+        self,
+        objective: Optional[Objective],
+        x0: np.ndarray,
+        batch_objective: Optional[BatchObjective] = None,
+    ) -> OptimizationResult:
+        evaluate = resolve_batch_objective(objective, batch_objective)
         x = np.asarray(x0, dtype=np.float64).ravel().copy()
         best_x = x.copy()
-        best_value = float(objective(x))
+        best_value = float(_evaluate(evaluate, x[None])[0])
         history = [best_value]
         evaluations = 1
         for k in range(1, self.iterations + 1):
             a_k = self.learning_rate / (k**0.602)
             c_k = self.perturbation / (k**0.101)
             delta = self._rng.choice([-1.0, 1.0], size=x.size)
-            plus = float(objective(x + c_k * delta))
-            minus = float(objective(x - c_k * delta))
+            # the +/- pair is one two-row batch: a single query per iteration
+            pair = _evaluate(evaluate, np.stack([x + c_k * delta, x - c_k * delta]))
+            plus, minus = float(pair[0]), float(pair[1])
             evaluations += 2
             gradient = (plus - minus) / (2 * c_k) * delta
             x = x - a_k * gradient
@@ -165,7 +215,7 @@ class SPSA:
                 best_value = value
                 best_x = x.copy()
             history.append(best_value)
-        final = float(objective(x))
+        final = float(_evaluate(evaluate, x[None])[0])
         evaluations += 1
         if final < best_value:
             best_value, best_x = final, x.copy()
@@ -184,14 +234,20 @@ class RandomSearch:
         self.sigma = float(sigma)
         self._rng = new_rng(rng)
 
-    def minimize(self, objective: Objective, x0: np.ndarray) -> OptimizationResult:
+    def minimize(
+        self,
+        objective: Optional[Objective],
+        x0: np.ndarray,
+        batch_objective: Optional[BatchObjective] = None,
+    ) -> OptimizationResult:
+        evaluate = resolve_batch_objective(objective, batch_objective)
         best_x = np.asarray(x0, dtype=np.float64).ravel().copy()
-        best_value = float(objective(best_x))
+        best_value = float(_evaluate(evaluate, best_x[None])[0])
         history = [best_value]
         evaluations = 1
         for _ in range(self.iterations):
             candidate = best_x + self._rng.normal(0.0, self.sigma, size=best_x.size)
-            value = float(objective(candidate))
+            value = float(_evaluate(evaluate, candidate[None])[0])
             evaluations += 1
             if value < best_value:
                 best_value = value

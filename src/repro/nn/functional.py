@@ -77,6 +77,11 @@ def im2col(
 
     Returns ``(cols, out_h, out_w)`` where ``cols`` has shape
     ``(N * out_h * out_w, C * kernel * kernel)``.
+
+    Built on :func:`numpy.lib.stride_tricks.sliding_window_view`: the unfold
+    itself is a zero-copy view (no per-offset Python loop), and the only copy
+    is the final reshape into column layout.  The input dtype is preserved, so
+    float32 megabatches stay float32 end to end.
     """
     n, c, h, w = x.shape
     out_h = conv_output_size(h, kernel, stride, padding)
@@ -85,13 +90,11 @@ def im2col(
         x = np.pad(
             x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
         )
-    cols = np.empty((n, c, kernel, kernel, out_h, out_w), dtype=x.dtype)
-    for ky in range(kernel):
-        y_max = ky + stride * out_h
-        for kx in range(kernel):
-            x_max = kx + stride * out_w
-            cols[:, :, ky, kx, :, :] = x[:, :, ky:y_max:stride, kx:x_max:stride]
-    cols = cols.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, -1)
+    # (n, c, H', W', k, k) view over every kernel placement, strided down to
+    # the convolution's output grid — still a view, no data copied yet
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kernel, kernel), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride]
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * out_h * out_w, c * kernel * kernel)
     return cols, out_h, out_w
 
 
@@ -123,7 +126,9 @@ def clip_grad_norm(parameters, max_norm: float) -> float:
     grads = [p.grad for p in parameters if p.grad is not None]
     if not grads:
         return 0.0
-    total = float(np.sqrt(sum(float(np.sum(g * g)) for g in grads)))
+    # norm of per-array norms == global norm, computed in two vectorised calls
+    # instead of a Python generator of per-array floats
+    total = float(np.linalg.norm([np.linalg.norm(g.ravel()) for g in grads]))
     if total > max_norm and total > 0:
         scale = max_norm / total
         for g in grads:

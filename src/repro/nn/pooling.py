@@ -19,6 +19,7 @@ class MaxPool2d(Module):
     def forward(self, x: np.ndarray) -> np.ndarray:
         n, c, h, w = x.shape
         self._input_shape = x.shape
+        self._dtype = x.dtype
         # pool each channel independently by treating channels as batch items
         x_reshaped = x.reshape(n * c, 1, h, w)
         cols, out_h, out_w = im2col(x_reshaped, self.kernel_size, self.stride, padding=0)
@@ -31,7 +32,7 @@ class MaxPool2d(Module):
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         n, c, h, w = self._input_shape
         out_h, out_w = self._out_hw
-        grad_cols = np.zeros(self._cols_shape, dtype=np.float64)
+        grad_cols = np.zeros(self._cols_shape, dtype=self._dtype)
         grad_flat = grad_output.reshape(-1)
         grad_cols[np.arange(grad_cols.shape[0]), self._argmax] = grad_flat
         grad_input = col2im(
@@ -51,17 +52,18 @@ class AvgPool2d(Module):
     def forward(self, x: np.ndarray) -> np.ndarray:
         n, c, h, w = x.shape
         self._input_shape = x.shape
+        self._dtype = x.dtype
         x_reshaped = x.reshape(n * c, 1, h, w)
         cols, out_h, out_w = im2col(x_reshaped, self.kernel_size, self.stride, padding=0)
         self._cols_shape = cols.shape
         self._out_hw = (out_h, out_w)
-        out = cols.mean(axis=1)
+        out = cols.mean(axis=1, dtype=self._dtype)
         return out.reshape(n, c, out_h, out_w)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         n, c, h, w = self._input_shape
         window = self.kernel_size * self.kernel_size
-        grad_flat = grad_output.reshape(-1, 1) / window
+        grad_flat = np.asarray(grad_output, dtype=self._dtype).reshape(-1, 1) / window
         grad_cols = np.repeat(grad_flat, window, axis=1)
         grad_input = col2im(
             grad_cols, (n * c, 1, h, w), self.kernel_size, self.stride, padding=0

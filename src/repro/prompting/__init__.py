@@ -20,12 +20,13 @@ from repro.prompting.prompt import VisualPrompt
 from repro.prompting.output_mapping import LabelMapping
 from repro.prompting.prompted import PromptedClassifier
 from repro.prompting.trainer import train_prompt_whitebox
-from repro.prompting.blackbox import train_prompt_blackbox
+from repro.prompting.blackbox import QueryCounter, train_prompt_blackbox
 
 __all__ = [
     "VisualPrompt",
     "LabelMapping",
     "PromptedClassifier",
+    "QueryCounter",
     "train_prompt_whitebox",
     "train_prompt_blackbox",
 ]

@@ -4,10 +4,27 @@ The defender cannot backpropagate through the suspicious model: only its
 confidence vectors are observable.  The prompt is therefore optimised with a
 gradient-free method (CMA-ES by default, as in the paper; SPSA and random
 search are available for the optimiser ablation).
+
+Two evaluation paths feed the optimiser, controlled by
+``PromptConfig.blackbox_batched``:
+
+* **batched** (default) — each generation's whole ``(lambda, dim)`` candidate
+  matrix is rendered by :meth:`VisualPrompt.apply_many` into one
+  ``(lambda * B, C, S, S)`` megabatch and scored with a *single* ``query()``
+  call; the fixed optimisation batch is resized and centre-padded once per
+  run.
+* **sequential** — the original one-query-per-candidate loop, kept as a
+  fallback and as the reference the batched path is tested against.
+
+Both paths drive identical optimiser RNG streams and update math, so they
+produce equivalent prompts.  A :class:`QueryCounter` records how many images
+were sent to the query function — the paper's query-budget metric — and is
+attached to the returned :class:`PromptedClassifier`.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 import numpy as np
@@ -25,11 +42,46 @@ from repro.utils.rng import SeedLike, new_rng
 QueryFunction = Callable[[np.ndarray], np.ndarray]
 
 
+@dataclass
+class QueryCounter:
+    """Running tally of black-box queries issued to one suspicious model.
+
+    ``images`` is the paper's query-budget metric (number of inputs whose
+    confidence vectors were requested); ``calls`` counts round-trips to the
+    query endpoint — the batched engine collapses a whole CMA-ES generation
+    into one call, so ``calls`` drops by a factor of lambda while ``images``
+    stays identical to the sequential path.
+    """
+
+    images: int = 0
+    calls: int = 0
+
+    def record(self, batch_size: int) -> None:
+        self.images += int(batch_size)
+        self.calls += 1
+
+    def wrap(self, query: QueryFunction) -> QueryFunction:
+        """A counting proxy around ``query``."""
+
+        def counted(images: np.ndarray) -> np.ndarray:
+            self.record(images.shape[0])
+            return query(images)
+
+        return counted
+
+
 def _cross_entropy_from_probabilities(
     probabilities: np.ndarray, labels: np.ndarray
-) -> float:
+) -> np.ndarray:
+    """Per-candidate mean cross-entropy from ``(..., B, K)`` probabilities.
+
+    Shared by the sequential objective (a single ``(B, K)`` matrix -> scalar
+    array) and the batched one (``(lambda, B, K)`` -> ``(lambda,)`` losses),
+    so both paths optimise one loss definition by construction.
+    """
     clipped = np.clip(probabilities, 1e-9, 1.0)
-    return float(-np.mean(np.log(clipped[np.arange(labels.shape[0]), labels])))
+    picked = clipped[..., np.arange(labels.shape[0]), labels]
+    return -np.mean(np.log(picked), axis=-1)
 
 
 def train_prompt_blackbox(
@@ -41,16 +93,20 @@ def train_prompt_blackbox(
     name: str = "prompted-suspicious",
     query_function: Optional[QueryFunction] = None,
     num_source_classes: Optional[int] = None,
+    query_counter: Optional[QueryCounter] = None,
 ) -> PromptedClassifier:
     """Learn a visual prompt for the suspicious model using only black-box queries.
 
     ``query_function`` defaults to the classifier's ``predict_proba`` — the
     MLaaS confidence-vector interface.  Passing a custom callable allows
-    plugging in an actual remote endpoint.
+    plugging in an actual remote endpoint.  ``query_counter`` (one is created
+    when omitted) tallies every image sent through the query function and is
+    attached to the result as ``prompted.query_counter``.
     """
     config = config or PromptConfig()
     rng = new_rng(rng)
-    query = query_function or suspicious_classifier.predict_proba
+    counter = query_counter if query_counter is not None else QueryCounter()
+    query = counter.wrap(query_function or suspicious_classifier.predict_proba)
     source_classes = num_source_classes or suspicious_classifier.num_classes
 
     prompt = VisualPrompt(
@@ -74,6 +130,23 @@ def train_prompt_blackbox(
     def objective(flat_prompt: np.ndarray) -> float:
         prompt.set_flat(flat_prompt)
         probabilities = query(prompt.apply(optimisation_batch.images))
+        return float(_cross_entropy_from_probabilities(probabilities, source_labels))
+
+    # per-population-size megabatch buffers, reused across generations (the
+    # query consumes each megabatch before the next generation overwrites it)
+    scratch: dict = {}
+
+    def batch_objective(flat_prompts: np.ndarray) -> np.ndarray:
+        lam = flat_prompts.shape[0]
+        buffer = scratch.get(lam)
+        if buffer is None:
+            buffer = scratch[lam] = np.empty(
+                (lam * batch_size, 3, config.source_size, config.source_size)
+            )
+        megabatch = prompt.apply_many(
+            flat_prompts, optimisation_batch.images, out=buffer
+        )
+        probabilities = query(megabatch).reshape(lam, batch_size, -1)
         return _cross_entropy_from_probabilities(probabilities, source_labels)
 
     optimizer = build_blackbox_optimizer(
@@ -82,7 +155,13 @@ def train_prompt_blackbox(
         population=config.blackbox_population,
         rng=rng,
     )
-    result = optimizer.minimize(objective, prompt.get_flat())
+    if config.blackbox_batched:
+        result = optimizer.minimize(
+            objective, prompt.get_flat(), batch_objective=batch_objective
+        )
+    else:
+        result = optimizer.minimize(objective, prompt.get_flat())
+    prompt.clear_canvas_cache()
     prompt.set_flat(result.best_x)
 
     if mapping_mode == "frequency":
@@ -91,4 +170,5 @@ def train_prompt_blackbox(
 
     prompted = PromptedClassifier(suspicious_classifier, prompt, mapping, name=name)
     prompted.optimization_result = result  # type: ignore[attr-defined]
+    prompted.query_counter = counter  # type: ignore[attr-defined]
     return prompted

@@ -45,6 +45,10 @@ class VisualPrompt:
         self.grad = np.zeros_like(self.theta)
         self._mask = self._build_border_mask()
         self.theta *= self._mask
+        #: (images identity, base canvas) memo for :meth:`apply_many` — the
+        #: black-box objective re-applies candidate prompts to one fixed
+        #: optimisation batch, so its resize/centre-pad is computed once per run
+        self._canvas_cache: tuple | None = None
 
     def _build_border_mask(self) -> np.ndarray:
         mask = np.ones((self.channels, self.source_size, self.source_size), dtype=np.float64)
@@ -64,8 +68,8 @@ class VisualPrompt:
         return int(self._mask.sum())
 
     # -- the padding operator V ------------------------------------------------
-    def apply(self, target_images: np.ndarray) -> np.ndarray:
-        """``V(x | theta)``: resize, centre-pad and add the prompt."""
+    def _make_canvas(self, target_images: np.ndarray) -> np.ndarray:
+        """Resize a batch to ``inner_size`` and centre-pad onto a blank canvas."""
         target_images = check_image_batch(target_images, "target_images")
         n = target_images.shape[0]
         resized = resize_batch(target_images, self.inner_size)
@@ -75,8 +79,72 @@ class VisualPrompt:
         canvas[:, :, top : top + self.inner_size, left : left + self.inner_size] = resized[
             :, : self.channels
         ]
-        prompted = canvas + (self.theta * self._mask)[None]
+        return canvas
+
+    def apply(self, target_images: np.ndarray) -> np.ndarray:
+        """``V(x | theta)``: resize, centre-pad and add the prompt."""
+        prompted = self._make_canvas(target_images) + (self.theta * self._mask)[None]
         return np.clip(prompted, 0.0, 1.0)
+
+    def base_canvas(self, target_images: np.ndarray) -> np.ndarray:
+        """The prompt-free canvas for a batch: resized images centre-padded to
+        ``source_size``.  Memoised on the batch's identity, so repeated calls
+        with the *same array object* (the fixed optimisation batch of a
+        black-box run) skip the resize entirely."""
+        if self._canvas_cache is not None and self._canvas_cache[0] is target_images:
+            return self._canvas_cache[1]
+        canvas = self._make_canvas(target_images)
+        self._canvas_cache = (target_images, canvas)
+        return canvas
+
+    def apply_many(
+        self,
+        flat_prompts: np.ndarray,
+        target_images: np.ndarray,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """``V(x | theta_i)`` for a whole candidate population at once.
+
+        ``flat_prompts`` is a ``(lambda, num_parameters)`` matrix of border
+        vectors (one CMA-ES generation); the result is the
+        ``(lambda * B, C, S, S)`` megabatch of every candidate applied to every
+        image, laid out candidate-major so row ``i * B + j`` is candidate ``i``
+        on image ``j``.  Equivalent to ``set_flat`` + :meth:`apply` per
+        candidate, but the resize/centre-pad happens once (cached) and the
+        prompt addition is a single broadcast.
+
+        ``out`` optionally supplies a caller-owned float64 output buffer of
+        shape ``(lambda * B, C, S, S)``; the hot loop in
+        :func:`~repro.prompting.blackbox.train_prompt_blackbox` reuses one
+        buffer per generation instead of reallocating the megabatch.  A
+        mismatched ``out`` is ignored and a fresh array returned.
+        """
+        flat_prompts = np.asarray(flat_prompts, dtype=np.float64)
+        if flat_prompts.ndim == 1:
+            flat_prompts = flat_prompts[None]
+        lam, width = flat_prompts.shape
+        if width != self.num_parameters:
+            raise ValueError(
+                f"expected {self.num_parameters} prompt parameters per candidate, "
+                f"got {width}"
+            )
+        canvas = self.base_canvas(target_images)
+        n = canvas.shape[0]
+        thetas = np.zeros((lam, self.channels, self.source_size, self.source_size))
+        thetas[:, self._mask > 0] = flat_prompts
+        flat_shape = (lam * n, self.channels, self.source_size, self.source_size)
+        if (
+            out is not None
+            and out.shape == flat_shape
+            and out.dtype == np.float64
+            and out.flags.c_contiguous
+        ):
+            prompted = out.reshape(lam, n, self.channels, self.source_size, self.source_size)
+            np.add(canvas[None], thetas[:, None], out=prompted)
+        else:
+            prompted = canvas[None] + thetas[:, None]
+        np.clip(prompted, 0.0, 1.0, out=prompted)
+        return prompted.reshape(flat_shape)
 
     # -- white-box gradient interface -------------------------------------------
     def zero_grad(self) -> None:
@@ -108,6 +176,17 @@ class VisualPrompt:
         theta = np.zeros_like(self.theta)
         theta[self._mask > 0] = values
         self.theta = theta
+
+    def clear_canvas_cache(self) -> None:
+        """Drop the memoised base canvas (call once an optimisation run ends)."""
+        self._canvas_cache = None
+
+    def __getstate__(self) -> dict:
+        # the canvas memo is a per-run scratch buffer; never ship it across
+        # process boundaries or into saved artefacts
+        state = self.__dict__.copy()
+        state["_canvas_cache"] = None
+        return state
 
     def copy(self) -> "VisualPrompt":
         clone = VisualPrompt(

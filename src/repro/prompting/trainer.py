@@ -10,6 +10,7 @@ from repro import nn
 from repro.config import PromptConfig
 from repro.datasets.base import ImageDataset
 from repro.models.classifier import ImageClassifier
+from repro.nn.parameter import Parameter
 from repro.prompting.output_mapping import LabelMapping
 from repro.prompting.prompt import VisualPrompt
 from repro.prompting.prompted import PromptedClassifier
@@ -51,11 +52,11 @@ def train_prompt_whitebox(
     )
     criterion = nn.CrossEntropyLoss()
 
-    # Adam state for the prompt parameters (flat border vector)
-    adam_m = np.zeros(prompt.num_parameters)
-    adam_v = np.zeros(prompt.num_parameters)
-    step = 0
-    beta1, beta2, eps = 0.9, 0.999, 1e-8
+    # the flat border vector is an ordinary Parameter driven by the shared
+    # nn.optim Adam — no hand-rolled moment/bias-correction state here
+    flat_param = Parameter(prompt.get_flat(), name="prompt")
+    optimizer = nn.Adam([flat_param], lr=config.learning_rate)
+    border = prompt.border_mask > 0
     losses: List[float] = []
 
     for _ in range(config.epochs):
@@ -73,15 +74,10 @@ def train_prompt_whitebox(
 
             prompt.zero_grad()
             prompt.accumulate_grad(grad_input)
-            # Adam update on the flat border parameters
-            flat_grad = prompt.grad[prompt.border_mask > 0]
-            step += 1
-            adam_m = beta1 * adam_m + (1 - beta1) * flat_grad
-            adam_v = beta2 * adam_v + (1 - beta2) * flat_grad**2
-            m_hat = adam_m / (1 - beta1**step)
-            v_hat = adam_v / (1 - beta2**step)
-            flat = prompt.get_flat() - config.learning_rate * m_hat / (np.sqrt(v_hat) + eps)
-            prompt.set_flat(flat)
+            optimizer.zero_grad()
+            flat_param.accumulate_grad(prompt.grad[border])
+            optimizer.step()
+            prompt.set_flat(flat_param.data)
             epoch_losses.append(loss)
         losses.append(float(np.mean(epoch_losses)))
 

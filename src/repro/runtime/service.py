@@ -42,6 +42,10 @@ class AuditVerdict:
     backdoor_score: float
     is_backdoored: bool
     prompted_accuracy: float
+    #: black-box query budget spent prompting this model (images queried)
+    query_count: int = 0
+    #: round-trips to the model's query endpoint
+    query_calls: int = 0
 
     @property
     def verdict(self) -> str:
@@ -115,6 +119,8 @@ class AuditService:
                 backdoor_score=result.backdoor_score,
                 is_backdoored=result.is_backdoored,
                 prompted_accuracy=result.prompted_accuracy,
+                query_count=result.query_count,
+                query_calls=result.query_calls,
             )
             for name, result in zip(names, results)
         ]

@@ -54,6 +54,8 @@ def _audit_task(
         backdoor_score=result.backdoor_score,
         is_backdoored=result.is_backdoored,
         prompted_accuracy=result.prompted_accuracy,
+        query_count=result.query_count,
+        query_calls=result.query_calls,
     )
 
 

@@ -1,0 +1,202 @@
+"""Tests for the batched black-box query engine.
+
+Covers the three layers of the megabatch path: the optimisers' batch-objective
+protocol (sequential and batched evaluation must drive identical runs), the
+``VisualPrompt.apply_many`` broadcast (must match per-candidate ``apply``),
+and the end-to-end ``train_prompt_blackbox`` / ``BpromDetector.inspect``
+equivalence plus per-model query accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import PromptConfig
+from repro.ml.cma_es import CMAES, SPSA, RandomSearch, resolve_batch_objective
+from repro.prompting import QueryCounter, VisualPrompt, train_prompt_blackbox
+
+QUADRATIC_TARGET = np.array([1.0, -2.0, 0.5, 3.0])
+
+
+def _quadratic(x):
+    return float(np.sum((x - QUADRATIC_TARGET) ** 2))
+
+
+def _quadratic_batch(candidates):
+    return np.sum((candidates - QUADRATIC_TARGET) ** 2, axis=1)
+
+
+def _optimizers():
+    return [
+        ("cmaes", lambda: CMAES(iterations=20, population=6, sigma=0.5, rng=0)),
+        ("spsa", lambda: SPSA(iterations=40, learning_rate=0.3, perturbation=0.1, rng=0)),
+        ("random", lambda: RandomSearch(iterations=40, sigma=0.5, rng=0)),
+    ]
+
+
+# -- batch-objective protocol -----------------------------------------------------
+
+
+@pytest.mark.parametrize("name,make", _optimizers(), ids=[n for n, _ in _optimizers()])
+def test_batched_and_sequential_runs_are_identical(name, make):
+    """Same RNG seed, scalar vs. batch objective: identical runs throughout."""
+    sequential = make().minimize(_quadratic, np.zeros(4))
+    batched = make().minimize(None, np.zeros(4), batch_objective=_quadratic_batch)
+    assert batched.evaluations == sequential.evaluations
+    assert batched.history == sequential.history
+    np.testing.assert_array_equal(batched.best_x, sequential.best_x)
+    assert batched.best_value == sequential.best_value
+
+
+def test_resolve_batch_objective_requires_a_callback():
+    with pytest.raises(ValueError):
+        resolve_batch_objective(None, None)
+    evaluate = resolve_batch_objective(_quadratic, None)
+    np.testing.assert_allclose(evaluate(np.zeros((3, 4))), [_quadratic(np.zeros(4))] * 3)
+
+
+def test_batch_objective_shape_is_validated():
+    optimizer = CMAES(iterations=1, population=4, rng=0)
+    with pytest.raises(ValueError):
+        optimizer.minimize(None, np.zeros(4), batch_objective=lambda c: np.zeros(c.shape[0] + 1))
+
+
+# -- apply_many -------------------------------------------------------------------
+
+
+def test_apply_many_matches_per_candidate_apply(tiny_dataset):
+    prompt = VisualPrompt(source_size=12, inner_size=8, channels=3, rng=0)
+    images = tiny_dataset.images[:5]
+    flats = np.linspace(-0.5, 0.5, 3 * prompt.num_parameters).reshape(3, -1)
+    mega = prompt.apply_many(flats, images)
+    assert mega.shape == (3 * 5, 3, 12, 12)
+    for index, flat in enumerate(flats):
+        prompt.set_flat(flat)
+        np.testing.assert_array_equal(mega[index * 5 : (index + 1) * 5], prompt.apply(images))
+
+
+def test_apply_many_caches_the_base_canvas(tiny_dataset):
+    prompt = VisualPrompt(source_size=12, inner_size=8, channels=3, rng=0)
+    images = tiny_dataset.images[:4]
+    first = prompt.base_canvas(images)
+    assert prompt.base_canvas(images) is first  # same array object: memo hit
+    other = prompt.base_canvas(tiny_dataset.images[:3])
+    assert other is not first  # different batch invalidates the memo
+    prompt.clear_canvas_cache()
+    assert prompt.base_canvas(images) is not first
+
+
+def test_apply_many_validates_parameter_width(tiny_dataset):
+    prompt = VisualPrompt(source_size=12, inner_size=8, channels=3, rng=0)
+    with pytest.raises(ValueError):
+        prompt.apply_many(np.zeros((2, 3)), tiny_dataset.images[:2])
+
+
+def test_prompt_pickles_without_canvas_cache(tiny_dataset):
+    import pickle
+
+    prompt = VisualPrompt(source_size=12, inner_size=8, channels=3, rng=0)
+    prompt.base_canvas(tiny_dataset.images[:4])
+    clone = pickle.loads(pickle.dumps(prompt))
+    assert clone._canvas_cache is None
+    np.testing.assert_array_equal(clone.theta, prompt.theta)
+
+
+# -- end-to-end black-box training ------------------------------------------------
+
+
+def _prompt_config(batched, optimizer="cma-es"):
+    return PromptConfig(
+        source_size=12,
+        inner_size=8,
+        epochs=1,
+        batch_size=16,
+        blackbox_optimizer=optimizer,
+        blackbox_iterations=5,
+        blackbox_population=4,
+        blackbox_batched=batched,
+    )
+
+
+@pytest.mark.parametrize("optimizer", ["cma-es", "spsa", "random"])
+def test_blackbox_batched_matches_sequential(optimizer, trained_mlp, tiny_dataset):
+    sequential = train_prompt_blackbox(
+        trained_mlp, tiny_dataset, _prompt_config(False, optimizer), rng=0
+    )
+    batched = train_prompt_blackbox(
+        trained_mlp, tiny_dataset, _prompt_config(True, optimizer), rng=0
+    )
+    seq_result = sequential.optimization_result
+    bat_result = batched.optimization_result
+    assert bat_result.evaluations == seq_result.evaluations
+    np.testing.assert_allclose(bat_result.history, seq_result.history, atol=1e-9)
+    np.testing.assert_allclose(bat_result.best_x, seq_result.best_x, atol=1e-9)
+    # identical query budget; the batched engine needs no more round-trips,
+    # and strictly fewer whenever a generation holds >1 candidate (random
+    # search proposes a single candidate per iteration, so it stays 1:1)
+    assert batched.query_counter.images == sequential.query_counter.images
+    assert batched.query_counter.calls <= sequential.query_counter.calls
+    if optimizer != "random":
+        assert batched.query_counter.calls < sequential.query_counter.calls
+
+
+def test_blackbox_query_budget_accounting(trained_mlp, tiny_dataset):
+    counter = QueryCounter()
+    config = _prompt_config(True)
+    prompted = train_prompt_blackbox(
+        trained_mlp, tiny_dataset, config, rng=0, query_counter=counter
+    )
+    assert prompted.query_counter is counter
+    result = prompted.optimization_result
+    batch = min(config.batch_size, len(tiny_dataset))
+    # evaluations = 1 initial + generations x lambda candidates, each scored
+    # on the fixed optimisation batch
+    assert result.evaluations == 1 + config.blackbox_iterations * config.blackbox_population
+    assert counter.images == result.evaluations * batch
+    # one megabatch query per generation (+ the initial evaluation)
+    assert counter.calls == 1 + config.blackbox_iterations
+
+
+def test_query_counter_wrap_counts_images():
+    counter = QueryCounter()
+    query = counter.wrap(lambda images: images.sum(axis=(1, 2, 3)))
+    query(np.zeros((3, 1, 2, 2)))
+    query(np.zeros((5, 1, 2, 2)))
+    assert counter.images == 8
+    assert counter.calls == 2
+
+
+# -- detector surface -------------------------------------------------------------
+
+
+def test_inspect_reports_query_count(micro_profile, tiny_dataset, tiny_test_dataset, trained_mlp):
+    from repro.core.detector import BpromDetector
+
+    detector = BpromDetector(profile=micro_profile, architecture="mlp", seed=0)
+    detector.fit(tiny_test_dataset, tiny_dataset, tiny_test_dataset)
+    result = detector.inspect(trained_mlp)
+    config = micro_profile.prompt
+    batch = min(config.batch_size, len(tiny_dataset))
+    expected_evals = 1 + config.blackbox_iterations * config.blackbox_population
+    assert result.query_count == expected_evals * batch
+    assert 0 < result.query_calls <= result.query_count
+
+    # the batched and sequential engines must agree on the verdict
+    from dataclasses import replace
+
+    sequential_profile = micro_profile.with_overrides(
+        prompt=replace(config, blackbox_batched=False)
+    )
+    seq_detector = BpromDetector(profile=sequential_profile, architecture="mlp", seed=0)
+    seq_detector.fit(tiny_test_dataset, tiny_dataset, tiny_test_dataset)
+    seq_result = seq_detector.inspect(trained_mlp)
+    assert abs(result.backdoor_score - seq_result.backdoor_score) <= 1e-9
+    assert result.is_backdoored == seq_result.is_backdoored
+    assert result.query_count == seq_result.query_count
+
+    # the fan-out path surfaces the same accounting and verdicts
+    many = detector.inspect_many([trained_mlp])
+    assert many[0].backdoor_score == result.backdoor_score
+    assert many[0].query_count == result.query_count
+    assert many[0].query_calls == result.query_calls

@@ -249,6 +249,37 @@ def test_im2col_col2im_are_adjoint(rng):
     assert lhs == pytest.approx(rhs, rel=1e-10)
 
 
+def test_im2col_matches_reference_loop(rng):
+    """The sliding_window_view unfold equals the per-offset gather, any geometry."""
+    for kernel, stride, padding in ((3, 1, 1), (2, 2, 0), (3, 2, 1), (4, 3, 2)):
+        x = rng.normal(size=(2, 3, 9, 9))
+        cols, out_h, out_w = im2col(x, kernel=kernel, stride=stride, padding=padding)
+        padded = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+        reference = np.empty((2, 3, kernel, kernel, out_h, out_w))
+        for ky in range(kernel):
+            for kx in range(kernel):
+                reference[:, :, ky, kx] = padded[
+                    :, :, ky : ky + stride * out_h : stride, kx : kx + stride * out_w : stride
+                ]
+        reference = reference.transpose(0, 4, 5, 1, 2, 3).reshape(cols.shape)
+        np.testing.assert_array_equal(cols, reference)
+
+
+def test_im2col_preserves_dtype(rng):
+    x = rng.normal(size=(2, 3, 8, 8)).astype(np.float32)
+    cols, _, _ = im2col(x, kernel=3, stride=1, padding=1)
+    assert cols.dtype == np.float32
+
+
+def test_pooling_backward_keeps_forward_dtype(rng):
+    for pool in (nn.MaxPool2d(2), nn.AvgPool2d(2)):
+        x = rng.normal(size=(2, 3, 8, 8)).astype(np.float32)
+        out = pool(x)
+        assert out.dtype == np.float32
+        grad = pool.backward(np.ones_like(out, dtype=np.float64))
+        assert grad.dtype == np.float32
+
+
 def test_clip_grad_norm_scales_gradients(rng):
     params = [nn.Parameter(rng.normal(size=(4,))) for _ in range(3)]
     for param in params:
