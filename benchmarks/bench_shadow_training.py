@@ -1,0 +1,212 @@
+"""Sequential vs. stacked shadow-pool training: models trained per second.
+
+Builds the same pool of clean + backdoored shadow models twice — once with the
+sequential per-model training loop and once with the stacked model-axis engine
+(``repro.nn.stacked``) — and reports models-trained-per-second for both.
+Correctness is asserted on every run, so the benchmark doubles as an
+equivalence check:
+
+* pool labels, target classes and training histories must match,
+* every state-dict entry must agree within 1e-9,
+* the artifact-store cache keys must not depend on the training mode (a
+  stacked run warms the cache for a sequential run and vice versa).
+
+The stacked engine fuses K models' Python/numpy dispatch into single ops, so
+it shines where per-op overhead dominates — the transformer zoo's many small
+token-space ops, small batches, large pools.  The default smoke configuration
+(``--arch vit --models 8 --batch-size 4 --image-size 8``) sits in that regime;
+cache-bound CNN/MLP shapes stay near 1x, which is why ``auto`` mode only
+stacks transformer pools.  Results are written as machine-readable JSON so the
+perf trajectory can be tracked across commits.
+
+Run with:  PYTHONPATH=src python benchmarks/bench_shadow_training.py \
+               [--profile tiny|fast|bench] [--arch vit] [--models 8] \
+               [--json BENCH_shadow_training.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+import time
+from dataclasses import replace
+
+import numpy as np
+
+from repro.config import RuntimeConfig, get_profile
+from repro.core.detector import BpromDetector
+from repro.core.shadow import ShadowModelFactory
+from repro.datasets.registry import load_dataset
+
+
+def assert_pools_equivalent(sequential, stacked, tolerance=1e-9) -> float:
+    """Check the two pools agree; returns the maximum state-dict deviation."""
+    assert [s.is_backdoored for s in sequential] == [s.is_backdoored for s in stacked]
+    assert [s.target_class for s in sequential] == [s.target_class for s in stacked]
+    max_diff = 0.0
+    for left, right in zip(sequential, stacked):
+        np.testing.assert_allclose(
+            left.classifier.history.losses,
+            right.classifier.history.losses,
+            rtol=0.0,
+            atol=tolerance,
+        )
+        state_left, state_right = left.classifier.state_dict(), right.classifier.state_dict()
+        assert set(state_left) == set(state_right)
+        for key in state_left:
+            diff = float(np.max(np.abs(state_left[key] - state_right[key]), initial=0.0))
+            max_diff = max(max_diff, diff)
+            assert diff <= tolerance, f"{key}: {diff}"
+    return max_diff
+
+
+def check_cache_interop(profile, arch, seed, reserved, target_train, target_test) -> None:
+    """A stacked fit must warm the shadow cache for a sequential fit, and back."""
+    for first_mode, second_mode in (("stacked", "sequential"), ("sequential", "stacked")):
+        with tempfile.TemporaryDirectory(prefix="bench-shadow-cache-") as cache_dir:
+            cached_flags = []
+            for mode in (first_mode, second_mode):
+                detector = BpromDetector(
+                    profile=profile,
+                    architecture=arch,
+                    seed=seed,
+                    runtime=RuntimeConfig(cache_dir=cache_dir, shadow_training=mode),
+                )
+                detector.fit(reserved, target_train, target_test)
+                cached_flags.append(
+                    {r.name: r.cached for r in detector.stage_reports}["shadow"]
+                )
+            assert cached_flags == [False, True], (
+                f"{first_mode} run did not warm the shadow cache for the "
+                f"{second_mode} run: {cached_flags}"
+            )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", default="tiny", help="experiment profile preset")
+    parser.add_argument("--arch", default="vit", help="shadow architecture")
+    parser.add_argument("--models", type=int, default=8, help="pool size (clean + backdoored)")
+    parser.add_argument(
+        "--batch-size", type=int, default=4, help="override the profile's training batch size"
+    )
+    parser.add_argument("--epochs", type=int, default=None, help="override training epochs")
+    parser.add_argument(
+        "--image-size", type=int, default=8, help="override the profile's image size"
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        help="timed passes per path; the minimum is reported (noise robustness)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--skip-cache-check",
+        action="store_true",
+        help="skip the (detector-fitting) artifact-cache interop assertion",
+    )
+    parser.add_argument(
+        "--json",
+        default="BENCH_shadow_training.json",
+        help="output path for machine-readable results",
+    )
+    args = parser.parse_args()
+
+    profile = get_profile(args.profile)
+    classifier_overrides = {}
+    if args.batch_size is not None:
+        classifier_overrides["batch_size"] = args.batch_size
+    if args.epochs is not None:
+        classifier_overrides["epochs"] = args.epochs
+    if classifier_overrides:
+        profile = profile.with_overrides(
+            classifier=replace(profile.classifier, **classifier_overrides)
+        )
+    if args.image_size is not None:
+        # the prompt canvas is the shadow model's input, so both move together
+        profile = profile.with_overrides(
+            image_size=args.image_size,
+            prompt=replace(
+                profile.prompt,
+                source_size=args.image_size,
+                inner_size=min(profile.prompt.inner_size, args.image_size - 2),
+            ),
+        )
+    train, test = load_dataset("cifar10", profile, seed=args.seed)
+    num_clean = args.models // 2
+    num_backdoor = args.models - num_clean
+    config = profile.classifier
+    print(
+        f"profile={profile.name} arch={args.arch} models={args.models} "
+        f"(clean={num_clean} backdoor={num_backdoor}) epochs={config.epochs} "
+        f"batch={config.batch_size} image={profile.image_size} "
+        f"cores={os.cpu_count() or 1}"
+    )
+
+    factories = {
+        mode: ShadowModelFactory(
+            profile=profile, architecture=args.arch, seed=args.seed, training_mode=mode
+        )
+        for mode in ("sequential", "stacked")
+    }
+
+    def build(mode):
+        start = time.perf_counter()
+        pool = factories[mode].build_pool(test, num_clean=num_clean, num_backdoor=num_backdoor)
+        return pool, time.perf_counter() - start
+
+    # interleave the timed passes so machine-load drift hits both paths equally
+    sequential_s = stacked_s = float("inf")
+    for _ in range(max(args.repeats, 1)):
+        sequential_pool, elapsed = build("sequential")
+        sequential_s = min(sequential_s, elapsed)
+        stacked_pool, elapsed = build("stacked")
+        stacked_s = min(stacked_s, elapsed)
+
+    print("sequential loop (one Python training loop per shadow):")
+    print(f"  total {sequential_s:8.2f}s   {args.models / sequential_s:8.2f} models/s")
+    print("stacked engine (K models as one model-axis computation):")
+    print(f"  total {stacked_s:8.2f}s   {args.models / stacked_s:8.2f} models/s")
+
+    max_diff = assert_pools_equivalent(sequential_pool, stacked_pool)
+    print(f"  pools equivalent (max state-dict deviation {max_diff:.2e})")
+
+    if not args.skip_cache_check:
+        reserved = test.sample_fraction(profile.reserved_fraction, rng=args.seed)
+        target_train, target_test = load_dataset("stl10", profile, seed=args.seed)
+        check_cache_interop(profile, args.arch, args.seed, reserved, target_train, target_test)
+        print("  artifact-store cache keys are training-mode independent")
+
+    speedup = sequential_s / max(stacked_s, 1e-9)
+    results = {
+        "benchmark": "shadow_training",
+        "profile": profile.name,
+        "arch": args.arch,
+        "models": args.models,
+        "epochs": config.epochs,
+        "batch_size": config.batch_size,
+        "image_size": profile.image_size,
+        "sequential_total_seconds": sequential_s,
+        "stacked_total_seconds": stacked_s,
+        "sequential_models_per_second": args.models / max(sequential_s, 1e-9),
+        "stacked_models_per_second": args.models / max(stacked_s, 1e-9),
+        "speedup": speedup,
+        "max_state_dict_deviation": max_diff,
+        "pools_equivalent": True,
+        "cache_keys_mode_independent": not args.skip_cache_check,
+    }
+    with open(args.json, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+    print(
+        f"stacked speedup {speedup:.2f}x "
+        f"({results['sequential_models_per_second']:.2f} -> "
+        f"{results['stacked_models_per_second']:.2f} models/s); "
+        f"results written to {args.json}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -208,6 +208,9 @@ def profile_from_dict(payload: Dict) -> ExperimentProfile:
 # ---------------------------------------------------------------------------
 
 _RUNTIME_BACKENDS = ("serial", "thread", "process")
+#: accepted values for RuntimeConfig.shadow_training / REPRO_SHADOW_TRAINING
+#: (single source of truth, shared with ShadowModelFactory)
+SHADOW_TRAINING_MODES = ("auto", "stacked", "sequential")
 
 
 @dataclass(frozen=True)
@@ -240,6 +243,14 @@ class RuntimeConfig:
     #: :class:`~repro.runtime.service_async.AsyncAuditService`; ``None``
     #: derives 2x ``workers`` at service construction
     max_in_flight: Optional[int] = None
+    #: how shadow pools are trained: "stacked" runs K same-architecture
+    #: shadows as one model-axis computation (:mod:`repro.nn.stacked`),
+    #: "sequential" trains them one by one, and "auto" defers to the
+    #: ``REPRO_SHADOW_TRAINING`` env var and then to a per-architecture-family
+    #: policy (stack the overhead-bound transformer pools, keep cache-bound
+    #: CNN/MLP pools sequential).  Both modes produce the same pool, so
+    #: artifact-store keys do not depend on this.
+    shadow_training: str = "auto"
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -247,6 +258,12 @@ class RuntimeConfig:
         if self.backend not in _RUNTIME_BACKENDS:
             raise ValueError(
                 f"unknown backend {self.backend!r}; available: {_RUNTIME_BACKENDS}"
+            )
+        object.__setattr__(self, "shadow_training", str(self.shadow_training).lower())
+        if self.shadow_training not in SHADOW_TRAINING_MODES:
+            raise ValueError(
+                f"unknown shadow_training {self.shadow_training!r}; "
+                f"available: {SHADOW_TRAINING_MODES}"
             )
         if self.shard_dirs is not None:
             # accept a single path or any sequence of paths, store a hashable
@@ -275,9 +292,10 @@ class RuntimeConfig:
     @classmethod
     def from_env(cls) -> "RuntimeConfig":
         """Build a runtime config from ``REPRO_WORKERS`` / ``REPRO_BACKEND`` /
-        ``REPRO_CACHE_DIR`` / ``REPRO_SHARD_DIRS`` / ``REPRO_MAX_IN_FLIGHT``
-        environment variables (benchmark/CI convenience).  ``REPRO_SHARD_DIRS``
-        is a list of shard roots separated by ``os.pathsep`` (``:`` on POSIX).
+        ``REPRO_CACHE_DIR`` / ``REPRO_SHARD_DIRS`` / ``REPRO_MAX_IN_FLIGHT`` /
+        ``REPRO_SHADOW_TRAINING`` environment variables (benchmark/CI
+        convenience).  ``REPRO_SHARD_DIRS`` is a list of shard roots separated
+        by ``os.pathsep`` (``:`` on POSIX).
         """
         shard_dirs = tuple(
             part for part in os.environ.get("REPRO_SHARD_DIRS", "").split(os.pathsep) if part
@@ -290,6 +308,7 @@ class RuntimeConfig:
             cache=os.environ.get("REPRO_CACHE", "1") != "0",
             shard_dirs=shard_dirs or None,
             max_in_flight=int(max_in_flight) if max_in_flight else None,
+            shadow_training=os.environ.get("REPRO_SHADOW_TRAINING", "auto"),
         )
 
 

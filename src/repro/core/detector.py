@@ -195,6 +195,7 @@ class BpromDetector:
                 architecture=self.architecture,
                 shadow_attack=self.shadow_attack,
                 seed=derive_seed(self.seed, "shadows"),
+                training_mode=self.runtime.shadow_training,
             )
             return factory.build_pool(reserved_clean, executor=self._executor)
 

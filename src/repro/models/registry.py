@@ -23,6 +23,26 @@ def available_architectures() -> Tuple[str, ...]:
     return ("resnet18", "mobilenetv2", "mobilevit", "swin", "mlp")
 
 
+def architecture_family(architecture: str) -> str:
+    """Coarse family of an architecture name: "cnn", "transformer" or "mlp".
+
+    Used by policy code that picks an execution strategy per family (e.g. the
+    stacked shadow-training engine defaults to stacking transformer pools,
+    whose many small token-space ops are Python-overhead-bound, and to the
+    sequential loop for cache-bound CNN/MLP pools).
+    """
+    arch = architecture.lower()
+    if arch in _RESNET_ALIASES or arch in _MOBILENET_ALIASES:
+        return "cnn"
+    if arch in _VIT_ALIASES:
+        return "transformer"
+    if arch in _MLP_ALIASES:
+        return "mlp"
+    raise ValueError(
+        f"unknown architecture {architecture!r}; available: {available_architectures()}"
+    )
+
+
 def build_model(
     architecture: str,
     num_classes: int,

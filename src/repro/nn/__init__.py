@@ -18,6 +18,9 @@ Public surface
   :class:`Sigmoid`, :class:`Tanh`, :class:`Identity`
 * Losses: :class:`CrossEntropyLoss`, :class:`MSELoss`
 * Optimisers: :class:`SGD`, :class:`Adam`, :class:`StepLR`, :class:`CosineLR`
+* Stacked-model engine (:mod:`repro.nn.stacked`): :func:`stack_modules` /
+  :func:`unstack_modules`, :func:`fit_stacked`, :func:`predict_proba_many`
+  and the ``Stacked*`` layer/optimiser/loss counterparts
 """
 
 from repro.nn.parameter import Parameter
@@ -33,6 +36,23 @@ from repro.nn.optim import SGD, Adam, CosineLR, StepLR
 from repro.nn import functional
 from repro.nn import init
 from repro.nn.serialization import load_state_dict, save_state_dict
+from repro.nn import stacked
+from repro.nn.stacked import (
+    StackedAdam,
+    StackedBatchNorm1d,
+    StackedBatchNorm2d,
+    StackedConv2d,
+    StackedCrossEntropyLoss,
+    StackedLayerNorm,
+    StackedLinear,
+    StackedSGD,
+    UnstackableModelError,
+    fit_stacked,
+    predict_logits_many,
+    predict_proba_many,
+    stack_modules,
+    unstack_modules,
+)
 
 __all__ = [
     "Parameter",
@@ -66,4 +86,19 @@ __all__ = [
     "init",
     "save_state_dict",
     "load_state_dict",
+    "stacked",
+    "StackedAdam",
+    "StackedBatchNorm1d",
+    "StackedBatchNorm2d",
+    "StackedConv2d",
+    "StackedCrossEntropyLoss",
+    "StackedLayerNorm",
+    "StackedLinear",
+    "StackedSGD",
+    "UnstackableModelError",
+    "fit_stacked",
+    "predict_logits_many",
+    "predict_proba_many",
+    "stack_modules",
+    "unstack_modules",
 ]

@@ -56,7 +56,10 @@ class Sigmoid(Module):
     """Logistic sigmoid."""
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        out = np.empty_like(x, dtype=np.float64)
+        # follow the forward dtype (float32 batches stay float32); integer
+        # inputs still promote to float64 so the division below is exact
+        dtype = x.dtype if np.issubdtype(x.dtype, np.floating) else np.float64
+        out = np.empty_like(x, dtype=dtype)
         pos = x >= 0
         out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
         expx = np.exp(x[~pos])

@@ -57,28 +57,48 @@ class Conv2d(Module):
             self.bias = Parameter(init.zeros((out_channels,)), name="bias")
 
     # -- helpers -----------------------------------------------------------
-    def _forward_group(self, x: np.ndarray, weight: np.ndarray):
-        cols, out_h, out_w = im2col(x, self.kernel_size, self.stride, self.padding)
-        w_mat = weight.reshape(weight.shape[0], -1)
-        out = cols @ w_mat.T
-        return out, cols, out_h, out_w
+    def _unfold_group(self, x: np.ndarray, group: int):
+        cin_g = self.in_channels // self.groups
+        xg = x if self.groups == 1 else x[:, group * cin_g : (group + 1) * cin_g]
+        return im2col(xg, self.kernel_size, self.stride, self.padding)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         n = x.shape[0]
         self._input_shape = x.shape
-        cin_g = self.in_channels // self.groups
+        self._dtype = x.dtype
         cout_g = self.out_channels // self.groups
-        self._cols = []
-        outputs = []
-        for g in range(self.groups):
-            xg = x[:, g * cin_g : (g + 1) * cin_g]
-            wg = self.weight.data[g * cout_g : (g + 1) * cout_g]
-            out, cols, out_h, out_w = self._forward_group(xg, wg)
-            self._cols.append(cols)
-            outputs.append(out)
+        # im2col buffers are kernel^2 x larger than the input.  Pure inference
+        # must not retain that training-sized scratch, but white-box prompt
+        # training backpropagates through the frozen model *in eval mode* and
+        # would pay a second unfold per step without it — so eval forwards
+        # cache the buffers only while backward passes are actually consuming
+        # them (one lazy re-unfold re-arms the cache, one backward-free
+        # forward drops it)
+        keep_cols = self.training or getattr(self, "_eval_backward_used", False)
+        self._eval_backward_used = False
+        cols_cache = [] if keep_cols else None
+        if self.groups == 1:
+            # fast path: no per-group list/concatenate round-trip
+            cols, out_h, out_w = self._unfold_group(x, 0)
+            if cols_cache is not None:
+                cols_cache.append(cols)
+            w_mat = self.weight.data.reshape(self.out_channels, -1)
+            merged = cols @ w_mat.T
+        else:
+            outputs = []
+            for g in range(self.groups):
+                cols, out_h, out_w = self._unfold_group(x, g)
+                if cols_cache is not None:
+                    cols_cache.append(cols)
+                wg = self.weight.data[g * cout_g : (g + 1) * cout_g]
+                outputs.append(cols @ wg.reshape(cout_g, -1).T)
+            # each output is (N*out_h*out_w, cout_g); stack along channel axis
+            merged = np.concatenate(outputs, axis=1)
         self._out_hw = (out_h, out_w)
-        # each `out` is (N*out_h*out_w, cout_g); stack along channel axis
-        merged = np.concatenate(outputs, axis=1)
+        self._cols = cols_cache
+        # the input reference backs the lazy re-unfold; moot when the cols are
+        # already cached, so retain at most one of the two
+        self._eval_input = None if keep_cols else x
         merged = merged.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
         if self.use_bias:
             merged = merged + self.bias.data[None, :, None, None]
@@ -91,12 +111,35 @@ class Conv2d(Module):
         if self.use_bias:
             self.bias.accumulate_grad(grad_output.sum(axis=(0, 2, 3)))
         grad_flat = grad_output.transpose(0, 2, 3, 1).reshape(n * out_h * out_w, self.out_channels)
-        grad_input = np.empty(self._input_shape, dtype=np.float64)
+        if not self.training:
+            self._eval_backward_used = True
+        cols_cache = self._cols
+        if cols_cache is None:
+            # eval-mode backward (white-box prompting runs the frozen model in
+            # eval); the im2col buffers were dropped after forward, re-unfold
+            if self._eval_input is None:
+                raise RuntimeError("Conv2d.backward called before forward")
+            cols_cache = [
+                self._unfold_group(self._eval_input, g)[0] for g in range(self.groups)
+            ]
+        if self.groups == 1:
+            cols = cols_cache[0]
+            w_mat = self.weight.data.reshape(self.out_channels, -1)
+            self.weight.accumulate_grad(
+                (grad_flat.T @ cols).reshape(self.weight.data.shape)
+            )
+            # like the grouped path: scatter-add at full precision, then follow
+            # the forward dtype
+            grad_input = col2im(
+                grad_flat @ w_mat, self._input_shape, self.kernel_size, self.stride, self.padding
+            )
+            return np.asarray(grad_input, dtype=self._dtype)
+        grad_input = np.empty(self._input_shape, dtype=self._dtype)
         grad_weight = np.empty_like(self.weight.data)
         group_input_shape = (n, cin_g, self._input_shape[2], self._input_shape[3])
         for g in range(self.groups):
             gout = grad_flat[:, g * cout_g : (g + 1) * cout_g]
-            cols = self._cols[g]
+            cols = cols_cache[g]
             wg = self.weight.data[g * cout_g : (g + 1) * cout_g].reshape(cout_g, -1)
             grad_weight[g * cout_g : (g + 1) * cout_g] = (gout.T @ cols).reshape(
                 cout_g, cin_g, self.kernel_size, self.kernel_size

@@ -280,6 +280,89 @@ def test_pooling_backward_keeps_forward_dtype(rng):
         assert grad.dtype == np.float32
 
 
+@pytest.mark.parametrize("groups", [1, 2], ids=["ungrouped", "grouped"])
+def test_conv_backward_keeps_forward_dtype(rng, groups):
+    conv = nn.Conv2d(4, 4, 3, padding=1, groups=groups, rng=1)
+    x = rng.normal(size=(2, 4, 8, 8)).astype(np.float32)
+    out = conv(x)
+    grad = conv.backward(np.ones_like(out, dtype=np.float64))
+    assert grad.dtype == np.float32
+    assert grad.shape == x.shape
+
+
+def test_sigmoid_forward_keeps_forward_dtype(rng):
+    sigmoid = nn.Sigmoid()
+    x = rng.normal(size=(3, 4)).astype(np.float32)
+    out = sigmoid(x)
+    assert out.dtype == np.float32
+    assert sigmoid.backward(np.ones_like(out)).dtype == np.float32
+    # integer inputs still promote so the exponentials stay exact
+    assert sigmoid(np.arange(-2, 3).reshape(1, 5)).dtype == np.float64
+
+
+@pytest.mark.parametrize("dtype", [np.float64, np.float32])
+def test_grouped_conv_matches_ungrouped_halves(rng, dtype):
+    """The groups > 1 loop agrees with independent groups==1 fast-path convs."""
+    grouped = nn.Conv2d(4, 6, 3, stride=2, padding=1, groups=2, rng=1)
+    halves = [nn.Conv2d(2, 3, 3, stride=2, padding=1, rng=2), nn.Conv2d(2, 3, 3, stride=2, padding=1, rng=3)]
+    for g, half in enumerate(halves):
+        half.weight.copy_(grouped.weight.data[g * 3 : (g + 1) * 3])
+        half.bias.copy_(grouped.bias.data[g * 3 : (g + 1) * 3])
+    x = rng.normal(size=(2, 4, 8, 8)).astype(dtype)
+    out = grouped(x)
+    expected = np.concatenate([half(x[:, g * 2 : (g + 1) * 2]) for g, half in enumerate(halves)], axis=1)
+    np.testing.assert_array_equal(out, expected)
+
+    upstream = rng.normal(size=out.shape)
+    grad = grouped.backward(upstream)
+    expected_grad = np.concatenate(
+        [half.backward(upstream[:, g * 3 : (g + 1) * 3]) for g, half in enumerate(halves)],
+        axis=1,
+    )
+    np.testing.assert_allclose(grad, expected_grad, rtol=0.0, atol=1e-12)
+    for g, half in enumerate(halves):
+        np.testing.assert_allclose(
+            grouped.weight.grad[g * 3 : (g + 1) * 3], half.weight.grad, rtol=0.0, atol=1e-12
+        )
+        np.testing.assert_allclose(
+            grouped.bias.grad[g * 3 : (g + 1) * 3], half.bias.grad, rtol=0.0, atol=1e-12
+        )
+
+
+def test_conv_eval_mode_drops_im2col_scratch_but_backward_still_works(rng):
+    """Inference must not retain training-sized im2col buffers; the white-box
+    prompting path (backward through a frozen model in eval mode) re-unfolds
+    lazily and must produce the same gradients as a train-mode pass."""
+    conv = nn.Conv2d(3, 4, 3, padding=1, rng=1)
+    x = rng.normal(size=(2, 3, 8, 8))
+
+    conv.train()
+    out_train = conv(x)
+    assert conv._cols is not None
+    upstream = rng.normal(size=out_train.shape)
+    grad_train = conv.backward(upstream)
+    weight_grad_train = conv.weight.grad.copy()
+    conv.zero_grad()
+
+    conv.eval()
+    out_eval = conv(x)
+    assert conv._cols is None  # the k^2-inflated scratch is gone ...
+    np.testing.assert_array_equal(out_train, out_eval)
+    grad_eval = conv.backward(upstream)  # ... but backward re-unfolds lazily
+    np.testing.assert_array_equal(grad_train, grad_eval)
+    np.testing.assert_array_equal(weight_grad_train, conv.weight.grad)
+
+    # an eval backward arms the cache (white-box prompting pattern: one unfold
+    # per step instead of two) and a backward-free forward disarms it again
+    conv(x)
+    assert conv._cols is not None
+    conv.backward(upstream)
+    conv(x)
+    assert conv._cols is not None
+    conv(x)
+    assert conv._cols is None
+
+
 def test_clip_grad_norm_scales_gradients(rng):
     params = [nn.Parameter(rng.normal(size=(4,))) for _ in range(3)]
     for param in params:

@@ -1,0 +1,328 @@
+"""Tests for the stacked shadow-pool training engine (repro.nn.stacked)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.config import RuntimeConfig, TrainingConfig
+from repro.core.detector import BpromDetector
+from repro.core.shadow import ShadowModelFactory
+from repro.models.registry import architecture_family, build_classifier
+from repro.nn.stacked import (
+    UnstackableModelError,
+    fit_stacked,
+    predict_proba_many,
+    stack_modules,
+    unstack_modules,
+)
+from repro.prompting.prompted import predict_source_proba_many
+
+
+def _assert_pools_match(left, right, tolerance=1e-9):
+    assert [s.is_backdoored for s in left] == [s.is_backdoored for s in right]
+    assert [s.target_class for s in left] == [s.target_class for s in right]
+    assert [s.attack_name for s in left] == [s.attack_name for s in right]
+    for a, b in zip(left, right):
+        assert a.clean_accuracy == pytest.approx(b.clean_accuracy, abs=tolerance)
+        assert a.classifier.history.losses == pytest.approx(
+            b.classifier.history.losses, abs=tolerance
+        )
+        state_a, state_b = a.classifier.state_dict(), b.classifier.state_dict()
+        assert set(state_a) == set(state_b)
+        for key in state_a:
+            np.testing.assert_allclose(
+                state_a[key], state_b[key], rtol=0.0, atol=tolerance, err_msg=key
+            )
+
+
+@pytest.mark.parametrize("architecture", ["mlp", "resnet18", "mobilenetv2", "vit"])
+def test_stacked_pool_matches_sequential(micro_profile, tiny_dataset, architecture):
+    profile = micro_profile
+    if architecture != "mlp":
+        # two epochs keep the conv/transformer variants fast; equivalence is
+        # per-step, so the epoch count does not weaken the check
+        profile = micro_profile.with_overrides(
+            classifier=TrainingConfig(epochs=2, batch_size=16, learning_rate=1e-2)
+        )
+    sequential = ShadowModelFactory(
+        profile=profile, architecture=architecture, seed=11, training_mode="sequential"
+    ).build_pool(tiny_dataset, num_clean=2, num_backdoor=2)
+    stacked = ShadowModelFactory(
+        profile=profile, architecture=architecture, seed=11, training_mode="stacked"
+    ).build_pool(tiny_dataset, num_clean=2, num_backdoor=2)
+    _assert_pools_match(sequential, stacked)
+
+
+def test_stacked_pool_with_sgd_matches_sequential(micro_profile, tiny_dataset):
+    profile = micro_profile.with_overrides(
+        classifier=TrainingConfig(epochs=3, batch_size=16, learning_rate=1e-2, optimizer="sgd")
+    )
+    sequential = ShadowModelFactory(
+        profile=profile, architecture="mlp", seed=3, training_mode="sequential"
+    ).build_pool(tiny_dataset, num_clean=1, num_backdoor=1)
+    stacked = ShadowModelFactory(
+        profile=profile, architecture="mlp", seed=3, training_mode="stacked"
+    ).build_pool(tiny_dataset, num_clean=1, num_backdoor=1)
+    _assert_pools_match(sequential, stacked)
+
+
+def test_detector_verdicts_identical_across_modes(
+    micro_profile, tiny_dataset, tiny_test_dataset
+):
+    def fit_and_inspect(mode):
+        detector = BpromDetector(
+            profile=micro_profile,
+            architecture="mlp",
+            seed=0,
+            runtime=RuntimeConfig(shadow_training=mode),
+        )
+        detector.fit(tiny_dataset, tiny_dataset, tiny_test_dataset)
+        suspicious = build_classifier(
+            "mlp", tiny_dataset.num_classes, tiny_dataset.image_size, rng=99, name="sus"
+        )
+        suspicious.fit(tiny_dataset, micro_profile.classifier, rng=100)
+        return detector.inspect(suspicious)
+
+    sequential = fit_and_inspect("sequential")
+    stacked = fit_and_inspect("stacked")
+    assert stacked.backdoor_score == pytest.approx(sequential.backdoor_score, abs=1e-9)
+    assert stacked.is_backdoored == sequential.is_backdoored
+    assert stacked.prompted_accuracy == pytest.approx(
+        sequential.prompted_accuracy, abs=1e-9
+    )
+
+
+def test_stacked_run_warms_cache_for_sequential_run(
+    micro_profile, tiny_dataset, tiny_test_dataset, tmp_path
+):
+    """Artifact-store keys do not depend on the training mode (both directions)."""
+
+    def fit(mode, cache_dir):
+        detector = BpromDetector(
+            profile=micro_profile,
+            architecture="mlp",
+            seed=0,
+            runtime=RuntimeConfig(cache_dir=str(cache_dir), shadow_training=mode),
+        )
+        detector.fit(tiny_dataset, tiny_dataset, tiny_test_dataset)
+        cached = {r.name: r.cached for r in detector.stage_reports}
+        return detector, cached
+
+    first, first_cached = fit("stacked", tmp_path / "a")
+    assert first_cached["shadow"] is False
+    second, second_cached = fit("sequential", tmp_path / "a")
+    assert second_cached["shadow"] is True  # stacked run warmed the cache
+
+    third, third_cached = fit("sequential", tmp_path / "b")
+    assert third_cached["shadow"] is False
+    fourth, fourth_cached = fit("stacked", tmp_path / "b")
+    assert fourth_cached["shadow"] is True  # ... and vice versa
+
+    for left, right in ((first, second), (third, fourth)):
+        for a, b in zip(left.shadow_models, right.shadow_models):
+            for key, value in a.classifier.state_dict().items():
+                np.testing.assert_array_equal(value, b.classifier.state_dict()[key])
+
+
+def test_training_mode_resolution(monkeypatch):
+    factory = ShadowModelFactory(architecture="mlp")
+    monkeypatch.delenv("REPRO_SHADOW_TRAINING", raising=False)
+    # auto policy: CNN/MLP pools stay sequential, transformer pools stack
+    assert factory.resolve_training_mode() == "sequential"
+    assert ShadowModelFactory(architecture="vit").resolve_training_mode() == "stacked"
+    # env var overrides the auto policy ...
+    monkeypatch.setenv("REPRO_SHADOW_TRAINING", "stacked")
+    assert factory.resolve_training_mode() == "stacked"
+    # ... and an explicit constructor mode overrides the env var
+    explicit = ShadowModelFactory(architecture="mlp", training_mode="sequential")
+    assert explicit.resolve_training_mode() == "sequential"
+    monkeypatch.setenv("REPRO_SHADOW_TRAINING", "bogus")
+    with pytest.raises(ValueError):
+        factory.resolve_training_mode()
+
+
+def test_architecture_family():
+    assert architecture_family("resnet18") == "cnn"
+    assert architecture_family("mobilenetv2") == "cnn"
+    assert architecture_family("swin") == "transformer"
+    assert architecture_family("mlp") == "mlp"
+    with pytest.raises(ValueError):
+        architecture_family("alexnet")
+
+
+def test_runtime_config_validates_shadow_training():
+    assert RuntimeConfig(shadow_training="stacked").shadow_training == "stacked"
+    assert RuntimeConfig(shadow_training="Stacked").shadow_training == "stacked"
+    with pytest.raises(ValueError):
+        RuntimeConfig(shadow_training="turbo")
+
+
+def test_auto_mode_yields_to_parallel_executor(
+    micro_profile, tiny_dataset, monkeypatch
+):
+    """Under "auto" a multi-worker executor outranks stacking; explicit
+    "stacked" keeps the model-axis engine even when an executor is supplied."""
+    import repro.core.shadow as shadow_mod
+    from repro.runtime.executor import ParallelExecutor
+
+    monkeypatch.delenv("REPRO_SHADOW_TRAINING", raising=False)
+    calls = []
+    original = shadow_mod.fit_stacked
+
+    def recording_fit_stacked(*args, **kwargs):
+        calls.append("stacked")
+        return original(*args, **kwargs)
+
+    monkeypatch.setattr(shadow_mod, "fit_stacked", recording_fit_stacked)
+    profile = micro_profile.with_overrides(
+        classifier=TrainingConfig(epochs=1, batch_size=16, learning_rate=1e-2)
+    )
+    executor = ParallelExecutor(2, "thread")
+
+    auto = ShadowModelFactory(profile=profile, architecture="vit", seed=2)
+    auto.build_pool(tiny_dataset, num_clean=1, num_backdoor=1, executor=executor)
+    assert calls == []  # auto + parallel executor -> per-model fan-out
+
+    forced = ShadowModelFactory(
+        profile=profile, architecture="vit", seed=2, training_mode="stacked"
+    )
+    forced.build_pool(tiny_dataset, num_clean=1, num_backdoor=1, executor=executor)
+    assert calls == ["stacked"]
+
+
+def test_unstackable_fallback_uses_executor(micro_profile, tiny_dataset, monkeypatch):
+    import repro.core.shadow as shadow_mod
+    from repro.runtime.executor import ParallelExecutor
+
+    def raise_unstackable(*args, **kwargs):
+        raise UnstackableModelError("forced for the test")
+
+    sequential = ShadowModelFactory(
+        profile=micro_profile, architecture="mlp", seed=5, training_mode="sequential"
+    ).build_pool(tiny_dataset, num_clean=1, num_backdoor=1)
+    monkeypatch.setattr(shadow_mod, "fit_stacked", raise_unstackable)
+    fallback = ShadowModelFactory(
+        profile=micro_profile, architecture="mlp", seed=5, training_mode="stacked"
+    ).build_pool(
+        tiny_dataset, num_clean=1, num_backdoor=1, executor=ParallelExecutor(2, "thread")
+    )
+    _assert_pools_match(sequential, fallback, tolerance=0.0)
+
+
+def test_stack_modules_rejects_mixed_or_unknown_modules():
+    with pytest.raises(UnstackableModelError):
+        stack_modules([nn.Linear(4, 2, rng=0), nn.ReLU()])
+
+    class Custom(nn.Module):
+        def forward(self, x):
+            return x
+
+    with pytest.raises(UnstackableModelError):
+        stack_modules([Custom(), Custom()])
+    with pytest.raises(UnstackableModelError):
+        stack_modules([nn.Dropout(0.5, rng=0), nn.Dropout(0.5, rng=1)])
+
+
+def test_stack_unstack_roundtrip_preserves_state(tiny_dataset):
+    models = [
+        build_classifier("resnet18", 4, image_size=12, rng=seed).model for seed in (0, 1, 2)
+    ]
+    originals = [m.state_dict() for m in models]
+    stacked = stack_modules(models)
+    unstack_modules(stacked, models)
+    for model, original in zip(models, originals):
+        for key, value in model.state_dict().items():
+            np.testing.assert_array_equal(value, original[key])
+
+
+def test_fit_stacked_rejects_mismatched_dataset_lengths(micro_profile, tiny_dataset):
+    classifiers = [
+        build_classifier("mlp", tiny_dataset.num_classes, tiny_dataset.image_size, rng=i)
+        for i in range(2)
+    ]
+    short = tiny_dataset.subset(range(len(tiny_dataset) - 4))
+    with pytest.raises(UnstackableModelError):
+        fit_stacked(classifiers, [tiny_dataset, short], micro_profile.classifier, rngs=[0, 1])
+
+
+def test_unstackable_pool_falls_back_to_sequential(micro_profile, tiny_dataset, monkeypatch):
+    """A pool the engine cannot lift still trains, with sequential-identical results."""
+    import repro.core.shadow as shadow_mod
+
+    def raise_unstackable(*args, **kwargs):
+        raise UnstackableModelError("forced for the test")
+
+    sequential = ShadowModelFactory(
+        profile=micro_profile, architecture="mlp", seed=5, training_mode="sequential"
+    ).build_pool(tiny_dataset, num_clean=1, num_backdoor=1)
+    monkeypatch.setattr(shadow_mod, "fit_stacked", raise_unstackable)
+    fallback = ShadowModelFactory(
+        profile=micro_profile, architecture="mlp", seed=5, training_mode="stacked"
+    ).build_pool(tiny_dataset, num_clean=1, num_backdoor=1)
+    _assert_pools_match(sequential, fallback, tolerance=0.0)
+
+
+@pytest.mark.parametrize("architecture", ["mlp", "resnet18", "vit"])
+def test_predict_proba_many_matches_sequential(tiny_dataset, architecture):
+    classifiers = []
+    for seed in range(3):
+        classifier = build_classifier(
+            architecture, tiny_dataset.num_classes, tiny_dataset.image_size, rng=seed
+        )
+        classifiers.append(classifier)
+    images = tiny_dataset.images[:7]
+    pooled = predict_proba_many(classifiers, images)
+    assert pooled.shape == (3, 7, tiny_dataset.num_classes)
+    for index, classifier in enumerate(classifiers):
+        np.testing.assert_array_equal(pooled[index], classifier.predict_proba(images))
+
+
+def test_predict_proba_many_per_model_inputs(tiny_dataset, rng):
+    classifiers = [
+        build_classifier("mlp", tiny_dataset.num_classes, tiny_dataset.image_size, rng=seed)
+        for seed in range(2)
+    ]
+    per_model = rng.random((2, 5, *tiny_dataset.image_shape))
+    pooled = predict_proba_many(classifiers, per_model, per_model=True)
+    for index, classifier in enumerate(classifiers):
+        np.testing.assert_array_equal(
+            pooled[index], classifier.predict_proba(per_model[index])
+        )
+    with pytest.raises(ValueError):
+        predict_proba_many(classifiers, per_model[:1], per_model=True)
+
+
+def test_predict_source_proba_many_matches_per_model(
+    micro_profile, tiny_dataset, trained_mlp
+):
+    from repro.prompting import train_prompt_whitebox
+
+    prompted = [
+        train_prompt_whitebox(trained_mlp, tiny_dataset, micro_profile.prompt, rng=seed)
+        for seed in (0, 1)
+    ]
+    images = tiny_dataset.images[:6]
+    pooled = predict_source_proba_many(prompted, images)
+    for index, model in enumerate(prompted):
+        np.testing.assert_array_equal(pooled[index], model.predict_source_proba(images))
+
+
+def test_stacked_batchnorm_buffers_unstack_per_model(rng):
+    layers = [nn.BatchNorm2d(3) for _ in range(2)]
+    stacked = stack_modules(layers)
+    x = rng.normal(size=(2, 4, 3, 5, 5))
+    stacked.train()
+    stacked(x)
+    unstack_modules(stacked, layers)
+    for index, layer in enumerate(layers):
+        reference = nn.BatchNorm2d(3)
+        reference.train()
+        reference(x[index])
+        np.testing.assert_array_equal(
+            layer.get_buffer("running_mean"), reference.get_buffer("running_mean")
+        )
+        np.testing.assert_array_equal(
+            layer.get_buffer("running_var"), reference.get_buffer("running_var")
+        )
