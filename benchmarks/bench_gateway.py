@@ -1,0 +1,183 @@
+"""Multi-tenant gateway vs. sequential per-tenant audits: TTFV and throughput.
+
+Stands two tenants up through the :class:`~repro.runtime.registry.
+DetectorRegistry` (two architecture families on two suspicious tasks), builds
+a mixed vendor catalogue, then screens it twice:
+
+* **baseline** — one synchronous ``AuditService.audit`` per tenant, run back
+  to back: no verdict until the first tenant's whole batch finishes, and the
+  second tenant waits for the first;
+* **gateway** — one ``AuditGateway.stream`` over the interleaved submissions:
+  routing by architecture family, shared in-flight budget, merged
+  completion-ordered verdicts.
+
+Correctness is asserted on every run — gateway verdicts must match the
+per-tenant baseline to <= 1e-9 with identical labels — so the benchmark
+doubles as the acceptance check for the gateway's equivalence property.
+Results are written as machine-readable JSON so the perf trajectory can be
+tracked across commits.
+
+Run with:  PYTHONPATH=src python benchmarks/bench_gateway.py \
+               [--profile tiny|fast|bench] [--arch-a mlp] [--arch-b resnet18] \
+               [--models 4] [--workers 2] [--max-in-flight 4] \
+               [--json BENCH_gateway.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from repro.config import RuntimeConfig, get_profile
+from repro.datasets.registry import load_dataset
+from repro.models.registry import build_classifier
+from repro.runtime import AuditGateway, AuditService, DetectorRegistry
+from repro.runtime.registry import DetectorSpec
+
+
+def build_catalogue(profile, architecture, train, count, seed):
+    catalogue = {}
+    for index in range(count):
+        name = f"{architecture}-vendor-{index}"
+        model = build_classifier(
+            architecture, train.num_classes, image_size=profile.image_size,
+            rng=seed + index, name=name,
+        )
+        model.fit(train, profile.classifier, rng=seed + 100 + index)
+        catalogue[name] = model
+    return catalogue
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", default="tiny", help="experiment profile preset")
+    parser.add_argument("--arch-a", default="mlp", help="tenant A architecture")
+    parser.add_argument("--arch-b", default="resnet18", help="tenant B architecture")
+    parser.add_argument("--models", type=int, default=4, help="catalogue size per tenant")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--backend", default="thread", choices=("thread", "process"))
+    parser.add_argument("--max-in-flight", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="registry store root (default: a fresh temp dir, i.e. a cold fit)",
+    )
+    parser.add_argument(
+        "--json", default="BENCH_gateway.json",
+        help="output path for machine-readable results",
+    )
+    args = parser.parse_args()
+
+    profile = get_profile(args.profile)
+    scratch = None
+    cache_dir = args.cache_dir
+    if cache_dir is None:
+        scratch = tempfile.TemporaryDirectory(prefix="bench-gateway-")
+        cache_dir = str(Path(scratch.name) / "store")
+    runtime = RuntimeConfig(workers=args.workers, backend=args.backend, cache_dir=cache_dir)
+
+    target_train, target_test = load_dataset("stl10", profile, seed=args.seed)
+    train_a, test_a = load_dataset("cifar10", profile, seed=args.seed)
+    train_b, test_b = load_dataset("svhn", profile, seed=args.seed)
+    print(
+        f"profile={profile.name} tenants=({args.arch_a} on cifar10, {args.arch_b} on svhn) "
+        f"models={args.models}/tenant workers={args.workers} backend={args.backend} "
+        f"cores={os.cpu_count() or 1}"
+    )
+
+    print("standing tenants up through the detector registry ...")
+    registry = DetectorRegistry(runtime=runtime)
+    spec_a = DetectorSpec(defense="bprom", profile=profile, architecture=args.arch_a, seed=args.seed)
+    spec_b = DetectorSpec(defense="bprom", profile=profile, architecture=args.arch_b, seed=args.seed)
+    start = time.perf_counter()
+    entry_a = registry.get_or_fit(spec_a, test_a, target_train, target_test)
+    entry_b = registry.get_or_fit(spec_b, test_b, target_train, target_test)
+    registry_s = time.perf_counter() - start
+    print(f"  tenants ready in {registry_s:6.2f}s (A: {entry_a.source}, B: {entry_b.source})")
+
+    print(f"building {2 * args.models} vendor models ...")
+    catalogue_a = build_catalogue(profile, args.arch_a, train_a, args.models, seed=1000)
+    catalogue_b = build_catalogue(profile, args.arch_b, train_b, args.models, seed=2000)
+
+    print("baseline (two sequential AuditService.audit runs):")
+    start = time.perf_counter()
+    report_a = AuditService(entry_a.detector, runtime=runtime).audit(catalogue_a)
+    baseline_first_s = time.perf_counter() - start  # nothing lands before batch A ends
+    report_b = AuditService(entry_b.detector, runtime=runtime).audit(catalogue_b)
+    baseline_total_s = time.perf_counter() - start
+    print(f"  total {baseline_total_s:8.2f}s   first verdict {baseline_first_s:8.2f}s")
+
+    print("gateway (merged multi-tenant stream):")
+    with AuditGateway(registry=registry, max_in_flight=args.max_in_flight) as gateway:
+        gateway.register_tenant("tenant-a", spec_a, test_a, target_train, target_test)
+        gateway.register_tenant("tenant-b", spec_b, test_b, target_train, target_test)
+        # interleave tenants so routing alternates and both pools stay busy
+        submissions = [
+            item
+            for pair in zip(catalogue_a.items(), catalogue_b.items())
+            for item in pair
+        ]
+        streamed = []
+        first_verdict_s = None
+        start = time.perf_counter()
+        for verdict in gateway.stream(submissions):
+            if first_verdict_s is None:
+                first_verdict_s = time.perf_counter() - start
+            streamed.append(verdict)
+        gateway_total_s = time.perf_counter() - start
+        stats = gateway.stats()
+    print(f"  total {gateway_total_s:8.2f}s   first verdict {first_verdict_s:8.2f}s")
+
+    expected = {v.name: v for v in report_a + report_b}
+    by_tenant = {"tenant-a": set(catalogue_a), "tenant-b": set(catalogue_b)}
+    assert len(streamed) == len(expected)
+    max_deviation = 0.0
+    for verdict in streamed:
+        reference = expected[verdict.name]
+        deviation = abs(verdict.backdoor_score - reference.backdoor_score)
+        max_deviation = max(max_deviation, deviation)
+        assert deviation <= 1e-9, (verdict.name, deviation)
+        assert verdict.is_backdoored == reference.is_backdoored, verdict.name
+        assert verdict.name in by_tenant[verdict.tenant], verdict.name
+    print(f"  gateway verdicts match per-tenant audits (max deviation {max_deviation:.2e})")
+
+    total_models = 2 * args.models
+    results = {
+        "benchmark": "gateway",
+        "profile": profile.name,
+        "arch_a": args.arch_a,
+        "arch_b": args.arch_b,
+        "models_per_tenant": args.models,
+        "workers": args.workers,
+        "backend": args.backend,
+        "max_in_flight": stats["max_in_flight"],
+        "registry_standup_seconds": registry_s,
+        "registry": stats["registry"],
+        "baseline_total_seconds": baseline_total_s,
+        "baseline_first_verdict_seconds": baseline_first_s,
+        "gateway_total_seconds": gateway_total_s,
+        "gateway_first_verdict_seconds": first_verdict_s,
+        "first_verdict_speedup": baseline_first_s / max(first_verdict_s, 1e-9),
+        "baseline_verdicts_per_second": total_models / max(baseline_total_s, 1e-9),
+        "gateway_verdicts_per_second": total_models / max(gateway_total_s, 1e-9),
+        "max_score_deviation": max_deviation,
+        "verdicts_match": True,
+    }
+    with open(args.json, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+    print(
+        f"time-to-first-verdict speedup {results['first_verdict_speedup']:.2f}x, "
+        f"{results['baseline_verdicts_per_second']:.2f} -> "
+        f"{results['gateway_verdicts_per_second']:.2f} verdicts/s; "
+        f"results written to {args.json}"
+    )
+    if scratch is not None:
+        scratch.cleanup()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,55 +1,72 @@
-"""MLaaS audit scenario: screening query-only models before deployment.
+"""MLaaS audit scenario: a multi-tenant gateway screening query-only models.
 
-This is the deployment story from the paper's introduction: an organisation
-sources image classifiers from a model market / MLaaS provider and only has
-black-box query access (confidence vectors).  BPROM is used as the front-line
-model-level screen; models flagged as backdoored are then subjected to
-input-level filtering (STRIP) at inference time, while clean models skip the
-per-input overhead — avoiding the false-positive cost shown in Table 1.
+This is the deployment story from the paper's introduction, scaled to the
+shape a production auditor actually has: an organisation sources image
+classifiers from *several* model markets — different architecture families,
+different suspicious tasks — and only has black-box query access (confidence
+vectors).  One :class:`~repro.runtime.gateway.AuditGateway` is the front door
+for the whole fleet:
 
-The example runs on the staged pipeline runtime: the detector is fitted once
-(shadow training and prompting fan out over worker threads), persisted to
-disk, and the vendor catalogue is screened through the *streaming* audit
-endpoint — ``AsyncAuditService.stream`` yields each verdict the moment its
-model finishes, so quarantine actions start before the slowest model is
-scored, while bounded in-flight backpressure keeps memory constant however
-large the catalogue grows.  Verdicts are bit-identical to the batch
-``AuditService.audit`` path.
+* each *tenant* (here: a ResNet vision catalogue on CIFAR-10 and an MLP
+  catalogue on SVHN) gets its detector through the
+  :class:`~repro.runtime.registry.DetectorRegistry` — fitted at most once
+  fleet-wide and reusable from the registry's artifact store by any other
+  process (this demo uses a throwaway store directory, so each run fits
+  cold; point ``cache_dir`` at a durable path to watch later runs stand
+  both tenants up with zero training);
+* mixed submissions are routed to their tenant by architecture family and
+  metadata, fanned out under one shared in-flight budget, and the per-tenant
+  verdict streams merge into a single completion-ordered stream;
+* models flagged as backdoored are then subjected to input-level filtering
+  (STRIP) at inference time, while clean models skip the per-input overhead —
+  avoiding the false-positive cost shown in Table 1;
+* ``gateway.stats()`` closes the loop: per-tenant verdict counts, query
+  budgets, registry hit/miss/evict counters and store statistics in one
+  snapshot.
 
 Run with:  python examples/mlaas_audit.py
 """
 
 from __future__ import annotations
 
+import json
 import tempfile
 import time
 from pathlib import Path
 
 from repro.attacks import attack_defaults, build_attack
 from repro.config import FAST, RuntimeConfig
-from repro.core import BpromDetector
 from repro.datasets import load_dataset
 from repro.defenses import StripDefense
 from repro.defenses.base import triggered_and_clean_split
 from repro.models import build_classifier
-from repro.runtime import AsyncAuditService
+from repro.runtime import AuditGateway, DetectorRegistry, DetectorSpec
 
 
-def build_vendor_models(profile, source_train, seed: int = 0):
-    """Simulate a vendor catalogue: two clean models and two compromised ones."""
+def build_vendor_models(profile, architecture, source_train, seed=0):
+    """Simulate one market's catalogue: two clean models, two compromised."""
     catalogue = {}
     attacks = {}
     for index in range(2):
-        name = f"vendor-clean-{index}"
-        model = build_classifier("resnet18", source_train.num_classes, profile.image_size, rng=seed + index, name=name)
+        name = f"{architecture}-clean-{index}"
+        model = build_classifier(
+            architecture, source_train.num_classes, profile.image_size,
+            rng=seed + index, name=name,
+        )
         model.fit(source_train, profile.classifier, rng=seed + 10 + index)
         catalogue[name] = model
     for index, attack_name in enumerate(("blend", "adaptive_patch")):
-        name = f"vendor-{attack_name}"
+        name = f"{architecture}-{attack_name}"
         attack = build_attack(attack_name, target_class=1, seed=seed + 20 + index)
         defaults = attack_defaults(attack_name)
-        poisoning = attack.poison(source_train, poison_rate=defaults.poison_rate, cover_rate=defaults.cover_rate, rng=seed + 30 + index)
-        model = build_classifier("resnet18", source_train.num_classes, profile.image_size, rng=seed + 40 + index, name=name)
+        poisoning = attack.poison(
+            source_train, poison_rate=defaults.poison_rate,
+            cover_rate=defaults.cover_rate, rng=seed + 30 + index,
+        )
+        model = build_classifier(
+            architecture, source_train.num_classes, profile.image_size,
+            rng=seed + 40 + index, name=name,
+        )
         model.fit(poisoning.dataset, profile.classifier, rng=seed + 50 + index)
         catalogue[name] = model
         attacks[name] = attack
@@ -58,53 +75,83 @@ def build_vendor_models(profile, source_train, seed: int = 0):
 
 def main() -> None:
     profile = FAST
-    runtime = RuntimeConfig(workers=4)
-    source_train, source_test = load_dataset("cifar10", profile, seed=0)
     target_train, target_test = load_dataset("stl10", profile, seed=0)
 
-    print("building the vendor catalogue (2 clean, 2 backdoored models) ...")
-    catalogue, attacks = build_vendor_models(profile, source_train)
+    # two tenants, two architecture families, two suspicious tasks
+    cifar_train, cifar_test = load_dataset("cifar10", profile, seed=0)
+    svhn_train, svhn_test = load_dataset("svhn", profile, seed=0)
 
-    print("fitting BPROM once (shadow training / prompting fan out over 4 workers) ...")
-    detector = BpromDetector(profile=profile, seed=0, runtime=runtime)
-    detector.fit(source_test, target_train, target_test)
+    print("building two vendor catalogues (2 clean + 2 backdoored models each) ...")
+    cnn_catalogue, cnn_attacks = build_vendor_models(profile, "resnet18", cifar_train, seed=0)
+    mlp_catalogue, _ = build_vendor_models(profile, "mlp", svhn_train, seed=100)
 
     with tempfile.TemporaryDirectory() as scratch:
-        artifact = detector.save(Path(scratch) / "detector")
-        print(f"detector persisted to {artifact} — standing up the streaming audit service from disk")
-        service = AsyncAuditService.from_saved(artifact, runtime=runtime, max_in_flight=4)
-
-        # the auditor only calls model.predict_proba — a black-box query interface
-        query_functions = {name: model.predict_proba for name, model in catalogue.items()}
-        print("\n--- audit report (verdicts stream in as each model finishes) ---")
-        start = time.perf_counter()
-        first_verdict_s = None
-        quarantined = []
-        for verdict in service.stream(catalogue, query_functions=query_functions):
-            if first_verdict_s is None:
-                first_verdict_s = time.perf_counter() - start
-            action = "REJECT / quarantine" if verdict.is_backdoored else "accept"
-            print(
-                f"{verdict.name:24s} backdoor score {verdict.backdoor_score:.3f} "
-                f"({verdict.query_count} queries in {verdict.query_calls} calls) -> {action}"
+        # the registry's store persists fitted detectors: re-pointing
+        # cache_dir at a durable path makes every later gateway process stand
+        # its tenants up with zero training
+        runtime = RuntimeConfig(workers=4, cache_dir=str(Path(scratch) / "store"))
+        registry = DetectorRegistry(runtime=runtime)
+        with AuditGateway(registry=registry, max_in_flight=4) as gateway:
+            print("standing up two tenants through the detector registry ...")
+            start = time.perf_counter()
+            cnn_tenant = gateway.register_tenant(
+                "vision-cnn",
+                DetectorSpec(defense="bprom", profile=profile, architecture="resnet18", seed=0),
+                cifar_test, target_train, target_test,
             )
-            if verdict.is_backdoored and verdict.name in attacks:
-                quarantined.append(verdict.name)
-        # STRIP runs after the timed loop so the reported throughput measures
-        # the streaming audit path alone
-        total_s = time.perf_counter() - start
-        print(
-            f"\ntime to first verdict {first_verdict_s:.2f}s, full catalogue {total_s:.2f}s "
-            f"({len(catalogue) / total_s:.2f} models/s)"
-        )
+            mlp_tenant = gateway.register_tenant(
+                "tabular-mlp",
+                DetectorSpec(defense="bprom", profile=profile, architecture="mlp", seed=0),
+                svhn_test, target_train, target_test,
+            )
+            print(
+                f"tenants ready in {time.perf_counter() - start:.2f}s "
+                f"(vision-cnn: {cnn_tenant.entry.source}, tabular-mlp: {mlp_tenant.entry.source})"
+            )
 
-        for name in quarantined:
-            # second line of defense: per-input filtering on the quarantined model
-            attack = attacks[name]
-            strip = StripDefense(source_test, num_overlays=6, rng=0)
-            clean_images, triggered_images = triggered_and_clean_split(attack, source_test, max_samples=24, rng=0)
-            evaluation = strip.evaluate(catalogue[name], clean_images, triggered_images)
-            print(f"{name:24s} STRIP input filter on quarantined model: AUROC {evaluation.auroc:.3f}")
+            # mixed submission stream; the auditor only calls predict_proba
+            submissions = [
+                (name, model, {"architecture": model.architecture})
+                for name, model in {**cnn_catalogue, **mlp_catalogue}.items()
+            ]
+            query_functions = {
+                name: model.predict_proba
+                for name, model in {**cnn_catalogue, **mlp_catalogue}.items()
+            }
+
+            print("\n--- merged audit stream (verdicts arrive as models finish) ---")
+            start = time.perf_counter()
+            first_verdict_s = None
+            quarantined = []
+            for verdict in gateway.stream(submissions, query_functions=query_functions):
+                if first_verdict_s is None:
+                    first_verdict_s = time.perf_counter() - start
+                action = "REJECT / quarantine" if verdict.is_backdoored else "accept"
+                print(
+                    f"[{verdict.tenant:11s}] {verdict.name:24s} "
+                    f"score {verdict.backdoor_score:.3f} "
+                    f"({verdict.query_count} queries in {verdict.query_calls} calls) -> {action}"
+                )
+                if verdict.is_backdoored and verdict.name in cnn_attacks:
+                    quarantined.append(verdict.name)
+            total_s = time.perf_counter() - start
+            print(
+                f"\ntime to first verdict {first_verdict_s:.2f}s, mixed catalogue "
+                f"{total_s:.2f}s ({len(submissions) / total_s:.2f} models/s)"
+            )
+
+            for name in quarantined:
+                # second line of defense: per-input filtering on quarantined models
+                attack = cnn_attacks[name]
+                strip = StripDefense(cifar_test, num_overlays=6, rng=0)
+                clean_images, triggered_images = triggered_and_clean_split(
+                    attack, cifar_test, max_samples=24, rng=0
+                )
+                evaluation = strip.evaluate(cnn_catalogue[name], clean_images, triggered_images)
+                print(f"{name:24s} STRIP input filter on quarantined model: AUROC {evaluation.auroc:.3f}")
+
+            print("\n--- serving dashboard (gateway.stats()) ---")
+            print(json.dumps(gateway.stats(), indent=2, sort_keys=True))
 
 
 if __name__ == "__main__":

@@ -207,6 +207,33 @@ def profile_from_dict(payload: Dict) -> ExperimentProfile:
 # runtime configuration
 # ---------------------------------------------------------------------------
 
+def _env_int(name: str, default: Optional[int]) -> Optional[int]:
+    """An integer environment variable; unset/empty yields ``default``.
+
+    Raises a ``ValueError`` that names the variable on a malformed value, so a
+    typo in a CI matrix fails with an actionable message rather than a bare
+    ``invalid literal for int()``.
+    """
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        return int(raw)
+    except ValueError as exc:
+        raise ValueError(f"{name} must be an integer, got {raw!r}") from exc
+
+
+def _env_float(name: str, default: float) -> float:
+    """A float environment variable; unset/empty yields ``default``."""
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        return float(raw)
+    except ValueError as exc:
+        raise ValueError(f"{name} must be a number, got {raw!r}") from exc
+
+
 _RUNTIME_BACKENDS = ("serial", "thread", "process")
 #: accepted values for RuntimeConfig.shadow_training / REPRO_SHADOW_TRAINING
 #: (single source of truth, shared with ShadowModelFactory)
@@ -251,6 +278,20 @@ class RuntimeConfig:
     #: CNN/MLP pools sequential).  Both modes produce the same pool, so
     #: artifact-store keys do not depend on this.
     shadow_training: str = "auto"
+    #: byte budget for the :class:`~repro.runtime.registry.DetectorRegistry`'s
+    #: in-memory LRU of loaded detectors; ``None`` means unbounded (the most
+    #: recently used detector is always retained even when over budget)
+    registry_lru_bytes: Optional[int] = None
+    #: how long a registry ``get_or_fit`` waits on another process's
+    #: single-flight fit lock before giving up
+    registry_lock_wait: float = 600.0
+    #: age after which a registry fit lock is presumed abandoned (crashed
+    #: fitter) and taken over; keep well above the longest expected fit
+    registry_lock_stale: float = 3600.0
+    #: cap on concurrently in-flight submissions across *all* tenants of an
+    #: :class:`~repro.runtime.gateway.AuditGateway`; ``None`` derives
+    #: 2x ``workers`` at gateway construction
+    gateway_max_in_flight: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -277,6 +318,22 @@ class RuntimeConfig:
             object.__setattr__(self, "shard_dirs", tuple(str(d) for d in dirs))
         if self.max_in_flight is not None and self.max_in_flight < 1:
             raise ValueError(f"max_in_flight must be >= 1, got {self.max_in_flight}")
+        if self.registry_lru_bytes is not None and self.registry_lru_bytes < 0:
+            raise ValueError(
+                f"registry_lru_bytes must be >= 0, got {self.registry_lru_bytes}"
+            )
+        if self.registry_lock_wait < 0:
+            raise ValueError(
+                f"registry_lock_wait must be >= 0, got {self.registry_lock_wait}"
+            )
+        if self.registry_lock_stale <= 0:
+            raise ValueError(
+                f"registry_lock_stale must be positive, got {self.registry_lock_stale}"
+            )
+        if self.gateway_max_in_flight is not None and self.gateway_max_in_flight < 1:
+            raise ValueError(
+                f"gateway_max_in_flight must be >= 1, got {self.gateway_max_in_flight}"
+            )
 
     @property
     def parallel(self) -> bool:
@@ -291,24 +348,32 @@ class RuntimeConfig:
 
     @classmethod
     def from_env(cls) -> "RuntimeConfig":
-        """Build a runtime config from ``REPRO_WORKERS`` / ``REPRO_BACKEND`` /
-        ``REPRO_CACHE_DIR`` / ``REPRO_SHARD_DIRS`` / ``REPRO_MAX_IN_FLIGHT`` /
-        ``REPRO_SHADOW_TRAINING`` environment variables (benchmark/CI
-        convenience).  ``REPRO_SHARD_DIRS`` is a list of shard roots separated
-        by ``os.pathsep`` (``:`` on POSIX).
+        """Build a runtime config from the ``REPRO_*`` environment variables
+        (benchmark/CI convenience): ``REPRO_WORKERS``, ``REPRO_BACKEND``,
+        ``REPRO_CACHE_DIR``, ``REPRO_CACHE``, ``REPRO_SHARD_DIRS``,
+        ``REPRO_MAX_IN_FLIGHT``, ``REPRO_SHADOW_TRAINING``,
+        ``REPRO_REGISTRY_LRU_BYTES``, ``REPRO_REGISTRY_LOCK_WAIT``,
+        ``REPRO_REGISTRY_LOCK_STALE`` and ``REPRO_GATEWAY_MAX_IN_FLIGHT``.
+        ``REPRO_SHARD_DIRS`` is a list of shard roots separated by
+        ``os.pathsep`` (``:`` on POSIX).  A malformed numeric value raises a
+        :class:`ValueError` naming the offending variable instead of a bare
+        parse error.
         """
         shard_dirs = tuple(
             part for part in os.environ.get("REPRO_SHARD_DIRS", "").split(os.pathsep) if part
         )
-        max_in_flight = os.environ.get("REPRO_MAX_IN_FLIGHT")
         return cls(
-            workers=int(os.environ.get("REPRO_WORKERS", "1")),
+            workers=_env_int("REPRO_WORKERS", 1),
             backend=os.environ.get("REPRO_BACKEND", "thread"),
             cache_dir=os.environ.get("REPRO_CACHE_DIR") or None,
             cache=os.environ.get("REPRO_CACHE", "1") != "0",
             shard_dirs=shard_dirs or None,
-            max_in_flight=int(max_in_flight) if max_in_flight else None,
+            max_in_flight=_env_int("REPRO_MAX_IN_FLIGHT", None),
             shadow_training=os.environ.get("REPRO_SHADOW_TRAINING", "auto"),
+            registry_lru_bytes=_env_int("REPRO_REGISTRY_LRU_BYTES", None),
+            registry_lock_wait=_env_float("REPRO_REGISTRY_LOCK_WAIT", 600.0),
+            registry_lock_stale=_env_float("REPRO_REGISTRY_LOCK_STALE", 3600.0),
+            gateway_max_in_flight=_env_int("REPRO_GATEWAY_MAX_IN_FLIGHT", None),
         )
 
 

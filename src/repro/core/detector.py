@@ -37,7 +37,7 @@ from repro.models.classifier import ImageClassifier
 from repro.prompting.blackbox import QueryCounter, QueryFunction
 from repro.prompting.prompted import PromptedClassifier
 from repro.runtime.executor import ParallelExecutor
-from repro.runtime.pipeline import Stage, StagedPipeline
+from repro.runtime.pipeline import Stage, StagedPipeline, StageReport
 from repro.runtime.store import (
     Artifact,
     ArtifactStore,
@@ -142,6 +142,10 @@ class BpromDetector:
         )
         self.shadow_models: List[ShadowModel] = []
         self.prompted_shadows: List[PromptedClassifier] = []
+        #: per-stage execution records of the last :meth:`fit` (empty on a
+        #: freshly constructed or loaded detector; the registry reads these
+        #: to report what a ``get_or_fit`` actually rebuilt vs. reused)
+        self.stage_reports: List["StageReport"] = []
         self._target_train: Optional[ImageDataset] = None
         self._fitted = False
         self._store = ArtifactStore.from_config(self.runtime)

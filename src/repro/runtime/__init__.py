@@ -18,11 +18,20 @@ The runtime layer turns the BPROM pipeline into a production-shaped system:
 * :class:`~repro.runtime.service_async.AsyncAuditService` — the streaming
   front-end: ``submit``/``as_completed``/``stream`` with bounded in-flight
   backpressure; verdicts are bit-identical to the batch path.
+* :class:`~repro.runtime.registry.DetectorRegistry` — a store-backed
+  catalogue of fitted detectors (BPROM and MNTD) with cross-process
+  single-flight fitting (advisory lock files, stale takeover) and a
+  byte-budgeted in-memory LRU.
+* :class:`~repro.runtime.gateway.AuditGateway` — the multi-tenant front
+  door: routes a mixed model stream to per-tenant detectors, fans out under
+  one shared in-flight budget, merges the verdict streams and reports the
+  whole serving picture in one ``stats()`` snapshot.
 
 See ARCHITECTURE.md at the repository root for the full design.
 """
 
 from repro.runtime.executor import ExecutorSession, ParallelExecutor
+from repro.runtime.locks import AdvisoryLock, LockTimeout
 from repro.runtime.pipeline import Stage, StagedPipeline, StageReport
 from repro.runtime.sharding import ShardedArtifactStore
 from repro.runtime.store import (
@@ -34,13 +43,20 @@ from repro.runtime.store import (
 )
 
 __all__ = [
+    "AdvisoryLock",
     "Artifact",
     "ArtifactStore",
     "AsyncAuditService",
+    "AuditGateway",
     "AuditJob",
     "AuditService",
     "AuditVerdict",
+    "DetectorRegistry",
+    "DetectorSpec",
     "ExecutorSession",
+    "GatewayVerdict",
+    "LockTimeout",
+    "RegistryEntry",
     "ParallelExecutor",
     "ShardedArtifactStore",
     "Stage",
@@ -58,6 +74,11 @@ _LAZY = {
     "AuditVerdict": "repro.runtime.service",
     "AsyncAuditService": "repro.runtime.service_async",
     "AuditJob": "repro.runtime.service_async",
+    "DetectorRegistry": "repro.runtime.registry",
+    "DetectorSpec": "repro.runtime.registry",
+    "RegistryEntry": "repro.runtime.registry",
+    "AuditGateway": "repro.runtime.gateway",
+    "GatewayVerdict": "repro.runtime.gateway",
 }
 
 

@@ -1,0 +1,539 @@
+"""Multi-tenant audit gateway: one front door for a fleet of detectors.
+
+The serve path below this module scales one detector (batched queries,
+streaming verdicts, stacked pools); the gateway scales *tenants*.  An MLaaS
+auditor receives heterogeneous suspicious models — different architecture
+families, datasets, requested defenses — and the gateway:
+
+* **routes** each ``(key, model, metadata)`` submission to its tenant's
+  detector, matching on requested defense, architecture family
+  (:func:`repro.models.registry.architecture_family`) and dataset
+  fingerprint;
+* **loads or fits** each tenant's detector through the
+  :class:`~repro.runtime.registry.DetectorRegistry` — at most one fit
+  fleet-wide, zero training on a warm store;
+* **fans out** each tenant group onto its own
+  :class:`~repro.runtime.service_async.AsyncAuditService` (BPROM) or an
+  equivalent thin MNTD scoring service, under one *shared* ``max_in_flight``
+  budget, so a burst on one tenant cannot starve the process of memory;
+* **merges** the per-tenant verdict streams into a single completion-ordered
+  stream of :class:`GatewayVerdict`; verdicts are bit-identical to running
+  each tenant's :class:`~repro.runtime.service.AuditService` by hand (the
+  per-key seed derivation is shared);
+* **reports** the whole serving picture in one :meth:`stats` snapshot:
+  per-tenant verdict counts and query budgets, registry hit/miss/evict
+  counters and the (sharded) store statistics.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, wait
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, Optional, Tuple, Union
+
+from repro.config import DEFAULT_RUNTIME, RuntimeConfig
+from repro.datasets.base import ImageDataset
+from repro.defenses.model_level import MNTDDefense
+from repro.models.classifier import ImageClassifier
+from repro.models.registry import architecture_family
+from repro.prompting.blackbox import QueryFunction
+from repro.runtime.executor import ParallelExecutor
+from repro.runtime.registry import DetectorRegistry, DetectorSpec, RegistryEntry
+from repro.runtime.service import AuditVerdict
+from repro.runtime.service_async import AsyncAuditService, AuditJob, SessionLifecycleMixin
+from repro.runtime.sharding import ShardedArtifactStore
+from repro.runtime.store import dataset_fingerprint
+
+
+@dataclass
+class GatewayVerdict(AuditVerdict):
+    """An :class:`AuditVerdict` annotated with the tenant that produced it."""
+
+    tenant: str = ""
+
+
+def _mntd_audit_task(
+    defense: MNTDDefense, clean_data: ImageDataset, key: str, model: ImageClassifier
+) -> AuditVerdict:
+    """Module-level task wrapper so process-backend executors can pickle it."""
+    score = float(defense.score_model(model, clean_data))
+    return AuditVerdict(
+        name=key,
+        backdoor_score=score,
+        is_backdoored=score >= defense.threshold,
+        prompted_accuracy=float("nan"),
+    )
+
+
+class _MNTDAuditService(SessionLifecycleMixin):
+    """Thin MNTD sibling of :class:`AsyncAuditService`: submit/reap/close.
+
+    MNTD scoring is one query batch plus a forest vote — cheap enough that it
+    needs no backpressure of its own; the gateway's shared budget still
+    applies to it like any other tenant.  The session lifecycle is the shared
+    :class:`~repro.runtime.service_async.SessionLifecycleMixin`.
+    """
+
+    def __init__(
+        self,
+        defense: MNTDDefense,
+        clean_data: ImageDataset,
+        runtime: Optional[RuntimeConfig] = None,
+    ) -> None:
+        self.detector = defense
+        self.clean_data = clean_data
+        self.executor = ParallelExecutor.from_config(runtime)
+        self._init_session()
+
+    def submit(
+        self,
+        key: str,
+        model: ImageClassifier,
+        query_function: Optional[QueryFunction] = None,
+    ) -> AuditJob:
+        if query_function is not None:
+            # MNTD queries the model object directly; there is no seam for a
+            # caller-supplied query wrapper, and silently bypassing one would
+            # skip whatever rate limiting / accounting it implements
+            warnings.warn(
+                f"MNTD tenant ignores the query_function supplied for {key!r}: "
+                "MNTD scores models through their own predict_proba, not a "
+                "black-box query interface"
+            )
+        session = self._ensure_session()
+        future = session.submit(_mntd_audit_task, self.detector, self.clean_data, key, model)
+        return AuditJob(key=key, future=future)
+
+    def reap(self, job: AuditJob) -> None:
+        """No retained queue to drop from — jobs live only in their futures."""
+
+
+@dataclass
+class Tenant:
+    """One registered tenant: its spec, fitted detector and serving front-end."""
+
+    tenant_id: str
+    spec: DetectorSpec
+    entry: RegistryEntry
+    service: Union[AsyncAuditService, _MNTDAuditService]
+    #: dataset fingerprints this tenant answers for (routing coordinate)
+    fingerprints: Tuple[str, ...]
+    accepted: int = 0
+    rejected: int = 0
+    query_count: int = 0
+    query_calls: int = 0
+
+    @property
+    def defense(self) -> str:
+        return self.spec.defense
+
+    @property
+    def family(self) -> str:
+        return self.spec.family
+
+
+#: one submission: ``(key, model)`` or ``(key, model, metadata)``
+Submission = Union[
+    Tuple[str, ImageClassifier],
+    Tuple[str, ImageClassifier, Optional[Dict[str, Any]]],
+]
+
+
+class AuditGateway:
+    """Front door routing a mixed model stream onto a fleet of detectors.
+
+    Typical usage::
+
+        runtime = RuntimeConfig(workers=4, cache_dir="cache")
+        with AuditGateway(runtime=runtime) as gateway:
+            gateway.register_tenant("vision-cnn", DetectorSpec(architecture="resnet18"),
+                                    reserved_a, target_train, target_test)
+            gateway.register_tenant("tabular-mlp", DetectorSpec(architecture="mlp"),
+                                    reserved_b, target_train, target_test)
+            for verdict in gateway.stream(submissions):
+                quarantine(verdict) if verdict.is_backdoored else release(verdict)
+            print(gateway.stats())
+    """
+
+    def __init__(
+        self,
+        registry: Optional[DetectorRegistry] = None,
+        runtime: Optional[RuntimeConfig] = None,
+        max_in_flight: Optional[int] = None,
+    ) -> None:
+        if runtime is None:
+            runtime = registry.runtime if registry is not None else DEFAULT_RUNTIME
+        self.runtime = runtime
+        self.registry = registry if registry is not None else DetectorRegistry(runtime=runtime)
+        if max_in_flight is None:
+            max_in_flight = runtime.gateway_max_in_flight
+        if max_in_flight is None:
+            max_in_flight = 2 * runtime.workers
+        if max_in_flight < 1:
+            raise ValueError(f"max_in_flight must be >= 1, got {max_in_flight}")
+        #: shared in-flight budget across all tenants
+        self.max_in_flight = int(max_in_flight)
+        self._slots = threading.Semaphore(self.max_in_flight)
+        self._tenants: Dict[str, Tenant] = {}
+        #: submitted-but-unharvested jobs: future -> (tenant_id, job)
+        self._pending: Dict[Future, Tuple[str, AuditJob]] = {}
+        self._lock = threading.Lock()
+
+    # -- tenant lifecycle ------------------------------------------------------
+    def register_tenant(
+        self,
+        tenant_id: str,
+        spec: DetectorSpec,
+        reserved_clean: ImageDataset,
+        target_train: Optional[ImageDataset] = None,
+        target_test: Optional[ImageDataset] = None,
+    ) -> Tenant:
+        """Stand up one tenant: load-or-fit its detector, open its service.
+
+        The detector comes through the registry, so registering the same
+        tenant in a second gateway process performs zero training on a warm
+        store.  The tenant answers for models whose metadata carries the
+        fingerprint of ``reserved_clean`` (the suspicious task's data) —
+        and, for BPROM, of the target datasets too.
+        """
+        if tenant_id in self._tenants:
+            raise ValueError(f"tenant {tenant_id!r} is already registered")
+        entry = self.registry.get_or_fit(spec, reserved_clean, target_train, target_test)
+        fingerprints = [dataset_fingerprint(reserved_clean)]
+        for dataset in (target_train, target_test):
+            if dataset is not None:
+                fingerprints.append(dataset_fingerprint(dataset))
+        if spec.defense == "mntd":
+            service: Union[AsyncAuditService, _MNTDAuditService] = _MNTDAuditService(
+                entry.detector, reserved_clean, runtime=self.runtime
+            )
+        else:
+            service = AsyncAuditService(
+                entry.detector, runtime=self.runtime, max_in_flight=self.max_in_flight
+            )
+        tenant = Tenant(
+            tenant_id=tenant_id,
+            spec=spec,
+            entry=entry,
+            service=service,
+            fingerprints=tuple(fingerprints),
+        )
+        with self._lock:
+            # re-checked under the lock: the early check above is advisory,
+            # and two concurrent registrations of one id must not silently
+            # overwrite (leaking the loser's open service)
+            if tenant_id in self._tenants:
+                conflict = True
+            else:
+                conflict = False
+                self._tenants[tenant_id] = tenant
+        if conflict:
+            service.close()
+            raise ValueError(f"tenant {tenant_id!r} is already registered")
+        return tenant
+
+    @property
+    def tenants(self) -> Dict[str, Tenant]:
+        with self._lock:
+            return dict(self._tenants)
+
+    # -- routing ---------------------------------------------------------------
+    def route(self, metadata: Dict[str, Any]) -> Tenant:
+        """The tenant a submission's metadata selects.
+
+        Matching coordinates (all optional, every given one must match):
+        ``tenant`` (explicit pin), ``defense`` (default ``"bprom"``),
+        ``architecture`` (matched by family) or ``family`` directly, and
+        ``dataset_fingerprint``.  Exactly one tenant must survive the filter;
+        zero raises ``KeyError``, several raise ``ValueError`` (the submitter
+        must provide a finer coordinate).
+        """
+        with self._lock:
+            tenants = list(self._tenants.values())
+        if not tenants:
+            raise KeyError("no tenants registered")
+        if "tenant" in metadata:
+            for tenant in tenants:
+                if tenant.tenant_id == metadata["tenant"]:
+                    return tenant
+            raise KeyError(f"unknown tenant {metadata['tenant']!r}")
+        defense = metadata.get("defense", "bprom")
+        family = metadata.get("family")
+        if "architecture" in metadata and metadata["architecture"] is not None:
+            family = architecture_family(metadata["architecture"])
+        fingerprint = metadata.get("dataset_fingerprint")
+        candidates = [
+            tenant
+            for tenant in tenants
+            if tenant.defense == defense
+            and (family is None or tenant.family == family)
+            and (fingerprint is None or fingerprint in tenant.fingerprints)
+        ]
+        if len(candidates) == 1:
+            return candidates[0]
+        description = (
+            f"defense={defense!r} family={family!r} dataset_fingerprint={fingerprint!r}"
+        )
+        if not candidates:
+            raise KeyError(
+                f"no tenant matches {description}; registered: {sorted(t.tenant_id for t in tenants)}"
+            )
+        raise ValueError(
+            f"{description} is ambiguous across tenants "
+            f"{sorted(t.tenant_id for t in candidates)}; add a finer routing "
+            f"coordinate (e.g. 'tenant' or 'dataset_fingerprint')"
+        )
+
+    # -- submission ------------------------------------------------------------
+    def _default_metadata(self, model: ImageClassifier) -> Dict[str, Any]:
+        return {"architecture": getattr(model, "architecture", None)}
+
+    def _submit_with_slot(
+        self,
+        key: str,
+        model: ImageClassifier,
+        metadata: Optional[Dict[str, Any]],
+        query_function: Optional[QueryFunction],
+    ) -> AuditJob:
+        """Submit one job; the caller has already acquired a budget slot."""
+        tenant = self.route(metadata if metadata is not None else self._default_metadata(model))
+        job = tenant.service.submit(key, model, query_function=query_function)
+        with self._lock:
+            self._pending[job.future] = (tenant.tenant_id, job)
+        # released when the job finishes *computing* (not when it is
+        # harvested), so the budget caps concurrent work, not retained results
+        job.future.add_done_callback(lambda _future: self._slots.release())
+        return job
+
+    def submit(
+        self,
+        key: str,
+        model: ImageClassifier,
+        metadata: Optional[Dict[str, Any]] = None,
+        query_function: Optional[QueryFunction] = None,
+    ) -> AuditJob:
+        """Route one submission to its tenant; blocks at the shared budget.
+
+        ``metadata`` defaults to routing by the model's recorded
+        architecture.  The returned job resolves to a plain
+        :class:`~repro.runtime.service.AuditVerdict`; harvest through
+        :meth:`as_completed`/:meth:`stream` to get tenant-annotated
+        :class:`GatewayVerdict` rows and per-tenant accounting.
+        """
+        self._slots.acquire()
+        try:
+            return self._submit_with_slot(key, model, metadata, query_function)
+        except BaseException:
+            self._slots.release()
+            raise
+
+    # -- harvesting ------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Submitted jobs that have not finished computing."""
+        with self._lock:
+            return sum(1 for future in self._pending if not future.done())
+
+    def _harvest(self, future: Future) -> Optional[GatewayVerdict]:
+        with self._lock:
+            item = self._pending.pop(future, None)
+        if item is None:
+            return None  # already harvested by a concurrent consumer
+        tenant_id, job = item
+        try:
+            verdict = job.result()  # re-raises task exceptions
+        finally:
+            # reap even when the task failed: a long-lived gateway auditing
+            # untrusted vendor models must not retain the bad job's handle
+            # in its tenant service until close().  Verdicts of *other*
+            # completed jobs stay in _pending and remain harvestable via
+            # as_completed() after the consumer handles the error.
+            with self._lock:
+                self._tenants[tenant_id].service.reap(job)
+        with self._lock:
+            tenant = self._tenants[tenant_id]
+            if verdict.is_backdoored:
+                tenant.rejected += 1
+            else:
+                tenant.accepted += 1
+            tenant.query_count += verdict.query_count
+            tenant.query_calls += verdict.query_calls
+        return GatewayVerdict(
+            name=verdict.name,
+            backdoor_score=verdict.backdoor_score,
+            is_backdoored=verdict.is_backdoored,
+            prompted_accuracy=verdict.prompted_accuracy,
+            query_count=verdict.query_count,
+            query_calls=verdict.query_calls,
+            tenant=tenant_id,
+        )
+
+    def as_completed(self) -> Iterator[GatewayVerdict]:
+        """Merge every tenant's submitted jobs into one completion-ordered
+        stream of tenant-annotated verdicts; ends when the queue drains."""
+        while True:
+            with self._lock:
+                pending = list(self._pending)
+            if not pending:
+                return
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            # preserve submission order among simultaneously-done jobs so the
+            # serial backend yields deterministically
+            for future in [f for f in pending if f in done]:
+                verdict = self._harvest(future)
+                if verdict is not None:
+                    yield verdict
+
+    # -- one-shot streaming ----------------------------------------------------
+    @staticmethod
+    def _normalize(submission: Submission) -> Tuple[str, ImageClassifier, Optional[Dict]]:
+        if len(submission) == 2:
+            key, model = submission  # type: ignore[misc]
+            return key, model, None
+        key, model, metadata = submission  # type: ignore[misc]
+        return key, model, metadata
+
+    def stream(
+        self,
+        submissions: Iterable[Submission],
+        query_functions: Optional[Dict[str, QueryFunction]] = None,
+    ) -> Iterator[GatewayVerdict]:
+        """Screen a mixed catalogue, yielding verdicts as models finish.
+
+        ``submissions`` is an iterable of ``(key, model)`` or
+        ``(key, model, metadata)``.  At most ``max_in_flight`` jobs are
+        outstanding across all tenants; slots freed by finishing jobs are
+        refilled before each yield, so the workers stay fed while the
+        consumer processes verdicts.  Verdicts are bit-identical to auditing
+        each tenant's group through its own ``AuditService`` with the same
+        keys; only arrival order differs.  ``query_functions`` apply to BPROM
+        tenants; an entry routed to an MNTD tenant warns and scores the model
+        object directly (MNTD has no black-box query seam).
+        """
+        # the iterable is consumed lazily — at most one entry is pulled ahead
+        # of the available budget, so a generator that materialises each
+        # model on demand streams in constant memory
+        iterator = iter(submissions)
+        lookahead: deque = deque()  # pulled but not yet submitted (no slot)
+        exhausted = False
+
+        def pull():
+            nonlocal exhausted
+            if lookahead:
+                return lookahead.popleft()
+            if exhausted:
+                return None
+            try:
+                return self._normalize(next(iterator))
+            except StopIteration:
+                exhausted = True
+                return None
+
+        def any_done() -> bool:
+            with self._lock:
+                return any(future.done() for future in self._pending)
+
+        def top_up() -> None:
+            # stop early once results are waiting: on an inline (serial)
+            # executor every submission completes synchronously, and draining
+            # between submissions keeps time-to-first-verdict at one audit
+            while not any_done():
+                entry = pull()
+                if entry is None:
+                    return
+                if not self._slots.acquire(blocking=False):
+                    lookahead.append(entry)
+                    return
+                key, model, metadata = entry
+                query_function = (
+                    query_functions.get(key) if query_functions is not None else None
+                )
+                try:
+                    self._submit_with_slot(key, model, metadata, query_function)
+                except BaseException:
+                    self._slots.release()
+                    raise
+
+        while True:
+            top_up()
+            with self._lock:
+                pending = list(self._pending)
+            if not pending:
+                if lookahead or not exhausted:
+                    continue
+                return
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in [f for f in pending if f in done]:
+                verdict = self._harvest(future)
+                # refill the freed slot before yielding so the workers stay
+                # fed while the consumer processes this verdict — but a
+                # failing submission (e.g. an unroutable queued entry) must
+                # not swallow the verdict already harvested and counted
+                refill_error: Optional[BaseException] = None
+                try:
+                    top_up()
+                except BaseException as exc:
+                    refill_error = exc
+                if verdict is not None:
+                    yield verdict
+                if refill_error is not None:
+                    raise refill_error
+
+    # -- dashboard -------------------------------------------------------------
+    def _store_stats(self) -> Dict[str, Dict[str, int]]:
+        store = self.registry.store
+        if isinstance(store, ShardedArtifactStore):
+            return store.stats()
+        root = str(store.root) if store.root is not None else "<disabled>"
+        return {root: {"hits": store.hits, "misses": store.misses}}
+
+    def stats(self) -> Dict[str, Any]:
+        """The serving dashboard in one snapshot.
+
+        Per-tenant verdict counts and query budgets, the registry's
+        hit/miss/evict counters, the (per-shard) store statistics and the
+        gateway's own in-flight gauge.
+        """
+        with self._lock:
+            tenants = {
+                tenant.tenant_id: {
+                    "defense": tenant.defense,
+                    "architecture": tenant.spec.architecture,
+                    "family": tenant.family,
+                    "detector_source": tenant.entry.source,
+                    "accepted": tenant.accepted,
+                    "rejected": tenant.rejected,
+                    "query_count": tenant.query_count,
+                    "query_calls": tenant.query_calls,
+                }
+                for tenant in self._tenants.values()
+            }
+            in_flight = sum(1 for future in self._pending if not future.done())
+        return {
+            "tenants": tenants,
+            "registry": self.registry.stats(),
+            "store": self._store_stats(),
+            "in_flight": in_flight,
+            "max_in_flight": self.max_in_flight,
+        }
+
+    # -- lifecycle -------------------------------------------------------------
+    def close(self) -> None:
+        """Shut every tenant's service down (draining their outstanding jobs)."""
+        for tenant in self.tenants.values():
+            tenant.service.close()
+
+    def __enter__(self) -> "AuditGateway":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AuditGateway(tenants={sorted(self._tenants)}, "
+            f"max_in_flight={self.max_in_flight})"
+        )

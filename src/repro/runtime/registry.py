@@ -1,0 +1,443 @@
+"""Detector registry: a store-backed catalogue of fitted BPROM/MNTD detectors.
+
+One front door for a fleet of detectors.  A production MLaaS auditor receives
+suspicious models for many *tenants* — different architectures, datasets and
+defense choices — and must route each to the right fitted detector, fitting
+one on demand at most once fleet-wide.  The registry provides exactly that:
+
+* **addressing** — a detector's identity is its :class:`DetectorSpec`
+  (defense kind, profile, architecture, attack/query knobs, seed) plus the
+  fingerprints of the datasets it is fitted on; ``registry_key`` turns that
+  into an artifact-store key, so any knob that changes the fitted detector
+  changes its address;
+* **cross-process single-flight** — ``get_or_fit`` first consults the
+  artifact store for a previously fitted detector (zero training on a warm
+  store, in *any* process), and otherwise takes an advisory lock file in the
+  store (:mod:`repro.runtime.locks`) so concurrent cold-store callers fit
+  exactly once: the losers wait, then load the winner's artifact.  Crashed
+  fitters are recovered by stale-lock takeover after
+  ``RuntimeConfig.registry_lock_stale`` seconds;
+* **bounded residency** — loaded detectors live in an in-memory LRU with a
+  byte budget (``RuntimeConfig.registry_lru_bytes``), so a gateway process
+  can hold dozens of tenants without unbounded RSS; evicted detectors reload
+  from the store on next use.
+
+Both detector families round-trip with bit-identical scores
+(``BpromDetector.save``/``load`` and ``MNTDDefense.save``/``load``), which is
+what makes a registry hit indistinguishable from the original fit.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from threading import RLock
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.config import (
+    DEFAULT_RUNTIME,
+    ExperimentProfile,
+    FAST,
+    RuntimeConfig,
+    profile_to_dict,
+)
+from repro.core.detector import BpromDetector
+from repro.datasets.base import ImageDataset
+from repro.defenses.model_level import MNTDDefense
+from repro.models.registry import architecture_family
+from repro.runtime.locks import AdvisoryLock
+from repro.runtime.pipeline import StageReport
+from repro.runtime.store import MISS, Artifact, ArtifactStore, dataset_fingerprint, key_hash
+
+#: artifact kind under which fitted detectors are stored
+DETECTOR_KIND = "fitted-detector"
+
+#: defense kinds the registry can fit and serve
+DEFENSE_KINDS = ("bprom", "mntd")
+
+
+@dataclass(frozen=True)
+class DetectorSpec:
+    """Everything that determines *which* fitted detector a tenant needs.
+
+    ``defense`` selects the family: ``"bprom"`` (the paper's detector, fitted
+    on ``(reserved_clean, target_train, target_test)``) or ``"mntd"`` (the
+    model-level baseline, fitted on ``reserved_clean`` alone).  The remaining
+    fields mirror the corresponding constructor knobs; fields irrelevant to
+    the chosen family are ignored by it but still participate in the registry
+    key, so keep them at their defaults unless they matter.
+    """
+
+    defense: str = "bprom"
+    profile: ExperimentProfile = field(default_factory=lambda: FAST)
+    architecture: str = "resnet18"
+    seed: int = 0
+    threshold: float = 0.5
+    #: BPROM: the single shadow attack used to poison shadow pools
+    shadow_attack: str = "badnets"
+    #: MNTD: the attack-diverse shadow pool composition
+    shadow_attacks: Tuple[str, ...] = ("badnets", "blend", "trojan")
+    #: MNTD: number of tuned query probes
+    num_queries: int = 16
+
+    def __post_init__(self) -> None:
+        if self.defense not in DEFENSE_KINDS:
+            raise ValueError(
+                f"unknown defense {self.defense!r}; available: {DEFENSE_KINDS}"
+            )
+        architecture_family(self.architecture)  # fail fast on unknown arch
+        object.__setattr__(self, "shadow_attacks", tuple(self.shadow_attacks))
+
+    @property
+    def family(self) -> str:
+        """Coarse architecture family ("cnn" | "transformer" | "mlp") — the
+        gateway's routing coordinate."""
+        return architecture_family(self.architecture)
+
+    def with_overrides(self, **kwargs) -> "DetectorSpec":
+        return replace(self, **kwargs)
+
+
+@dataclass
+class RegistryEntry:
+    """One loaded detector plus the provenance of how it got into memory."""
+
+    key_hash: str
+    spec: DetectorSpec
+    #: the fitted ``BpromDetector`` or ``MNTDDefense``
+    detector: Any
+    #: "fit" (trained here), "store" (loaded from a warm artifact store) or
+    #: "memory" (served from the in-memory LRU)
+    source: str
+    #: estimated resident size, charged against the LRU byte budget
+    nbytes: int
+    #: stage execution records: the detector's own pipeline reports for a
+    #: fresh fit, or a single synthetic all-cached record for a store load
+    stage_reports: List[StageReport] = field(default_factory=list)
+
+    @property
+    def trained(self) -> bool:
+        """Whether serving this entry performed any training."""
+        return any(not report.cached for report in self.stage_reports)
+
+
+def registry_key(
+    spec: DetectorSpec,
+    reserved_clean: ImageDataset,
+    target_train: Optional[ImageDataset] = None,
+    target_test: Optional[ImageDataset] = None,
+) -> Dict[str, Any]:
+    """The artifact-store key payload addressing one fitted detector."""
+    return {
+        "defense": spec.defense,
+        "profile": profile_to_dict(spec.profile),
+        "architecture": spec.architecture,
+        "seed": spec.seed,
+        "threshold": spec.threshold,
+        "shadow_attack": spec.shadow_attack,
+        "shadow_attacks": list(spec.shadow_attacks),
+        "num_queries": spec.num_queries,
+        "reserved": dataset_fingerprint(reserved_clean),
+        "target_train": dataset_fingerprint(target_train) if target_train is not None else None,
+        "target_test": dataset_fingerprint(target_test) if target_test is not None else None,
+    }
+
+
+def _arrays_nbytes(arrays: Dict[str, Any]) -> int:
+    return int(sum(getattr(value, "nbytes", 0) for value in arrays.values()))
+
+
+def _dataset_nbytes(dataset: Optional[ImageDataset]) -> int:
+    if dataset is None:
+        return 0
+    return int(dataset.images.nbytes + dataset.labels.nbytes)
+
+
+def detector_nbytes(detector: Any) -> int:
+    """Estimated resident bytes of a loaded detector (LRU accounting).
+
+    Counts the numpy payloads that dominate RSS — meta-classifier state,
+    query pools / datasets, prompts — and ignores small Python object
+    overhead; the budget is a dial, not an audit.
+    """
+    if isinstance(detector, MNTDDefense):
+        total = _arrays_nbytes(detector._meta.get_state()) if detector._meta is not None else 0
+        if detector._query_images is not None:
+            total += int(detector._query_images.nbytes)
+        return total
+    if isinstance(detector, BpromDetector):
+        state, _info = detector.meta_classifier.get_state()
+        total = _arrays_nbytes(state)
+        total += _dataset_nbytes(detector._target_train)
+        total += _dataset_nbytes(detector.meta_classifier.query_pool)
+        for prompted in detector.prompted_shadows:
+            total += int(prompted.prompt.theta.nbytes + prompted.mapping.assignment.nbytes)
+        return total
+    raise TypeError(f"cannot estimate size of {type(detector).__name__}")
+
+
+class DetectorRegistry:
+    """Store-backed catalogue of fitted detectors with single-flight fitting.
+
+    Typical gateway-process usage::
+
+        registry = DetectorRegistry(runtime=RuntimeConfig(cache_dir="cache",
+                                                          registry_lru_bytes=256 << 20))
+        entry = registry.get_or_fit(DetectorSpec(defense="bprom", architecture="mlp"),
+                                    reserved_clean, target_train, target_test)
+        entry.detector.inspect(suspicious_model)
+
+    Thread-safe: the in-memory LRU is guarded by a lock, and the store-level
+    single-flight uses advisory lock files, so concurrent callers — threads
+    here or whole other processes — fit each detector at most once fleet-wide.
+    """
+
+    def __init__(
+        self,
+        runtime: Optional[RuntimeConfig] = None,
+        store: Optional[ArtifactStore] = None,
+        lru_bytes: Optional[int] = None,
+        lock_wait_seconds: Optional[float] = None,
+        lock_stale_seconds: Optional[float] = None,
+    ) -> None:
+        self.runtime = runtime or DEFAULT_RUNTIME
+        self.store = store if store is not None else ArtifactStore.from_config(self.runtime)
+        self.lru_bytes = lru_bytes if lru_bytes is not None else self.runtime.registry_lru_bytes
+        self.lock_wait_seconds = (
+            lock_wait_seconds if lock_wait_seconds is not None else self.runtime.registry_lock_wait
+        )
+        self.lock_stale_seconds = (
+            lock_stale_seconds
+            if lock_stale_seconds is not None
+            else self.runtime.registry_lock_stale
+        )
+        self._entries: "OrderedDict[str, RegistryEntry]" = OrderedDict()
+        self._lock = RLock()
+        #: served from the in-memory LRU without touching the store
+        self.hits = 0
+        #: loaded from a warm artifact store (zero training)
+        self.store_hits = 0
+        #: fitted here (cold everywhere)
+        self.fits = 0
+        #: entries dropped to respect the byte budget
+        self.evictions = 0
+
+    # -- LRU ------------------------------------------------------------------
+    @property
+    def loaded_bytes(self) -> int:
+        with self._lock:
+            return sum(entry.nbytes for entry in self._entries.values())
+
+    def _insert(self, entry: RegistryEntry) -> None:
+        with self._lock:
+            self._entries.pop(entry.key_hash, None)
+            self._entries[entry.key_hash] = entry
+            if self.lru_bytes is None:
+                return
+            # always keep the most recently used entry, even when it alone
+            # exceeds the budget — a gateway that cannot hold one tenant is a
+            # configuration error better surfaced by RSS than by thrashing
+            while (
+                len(self._entries) > 1
+                and sum(e.nbytes for e in self._entries.values()) > self.lru_bytes
+            ):
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def _memory_hit(self, digest: str) -> Optional[RegistryEntry]:
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is None:
+                return None
+            self._entries.move_to_end(digest)
+            self.hits += 1
+            # a per-call view, not a mutation: earlier callers keep the
+            # provenance their own get_or_fit observed ("fit"/"store"), and
+            # this call's reports say what *it* did — nothing but a cache hit
+            return replace(
+                entry,
+                source="memory",
+                stage_reports=[StageReport("memory", True, 0.0)],
+            )
+
+    # -- store codecs ---------------------------------------------------------
+    @staticmethod
+    def _save_detector(artifact: Artifact, spec: DetectorSpec, detector: Any) -> None:
+        # a detector artifact is simply the detector's own save() layout inside
+        # the artifact directory, plus the store manifest written around it
+        detector.save(artifact.directory)
+        artifact.save_json("registry", {"defense": spec.defense})
+
+    def _load_detector(self, artifact: Artifact, spec: DetectorSpec) -> Any:
+        if spec.defense == "mntd":
+            return MNTDDefense.load(artifact.directory)
+        return BpromDetector.load(artifact.directory, runtime=self.runtime)
+
+    # -- fitting --------------------------------------------------------------
+    def _fit(
+        self,
+        spec: DetectorSpec,
+        reserved_clean: ImageDataset,
+        target_train: Optional[ImageDataset],
+        target_test: Optional[ImageDataset],
+    ) -> Tuple[Any, List[StageReport]]:
+        if spec.defense == "mntd":
+            defense = MNTDDefense(
+                profile=spec.profile,
+                architecture=spec.architecture,
+                shadow_attacks=spec.shadow_attacks,
+                num_queries=spec.num_queries,
+                threshold=spec.threshold,
+                seed=spec.seed,
+            )
+            start = time.perf_counter()
+            defense.fit(reserved_clean)
+            reports = [StageReport("mntd-fit", False, time.perf_counter() - start)]
+            return defense, reports
+        if target_train is None or target_test is None:
+            raise ValueError(
+                "fitting a BPROM detector needs target_train and target_test datasets"
+            )
+        detector = BpromDetector(
+            profile=spec.profile,
+            architecture=spec.architecture,
+            shadow_attack=spec.shadow_attack,
+            threshold=spec.threshold,
+            seed=spec.seed,
+            runtime=self.runtime,
+        )
+        detector.fit(reserved_clean, target_train, target_test)
+        return detector, list(detector.stage_reports)
+
+    # -- the front door -------------------------------------------------------
+    def get_or_fit(
+        self,
+        spec: DetectorSpec,
+        reserved_clean: ImageDataset,
+        target_train: Optional[ImageDataset] = None,
+        target_test: Optional[ImageDataset] = None,
+    ) -> RegistryEntry:
+        """The fitted detector for ``spec`` on these datasets, fitting at most
+        once fleet-wide.
+
+        Lookup order: in-memory LRU, then the artifact store (a warm store
+        serves a previously fitted detector with **zero training**, whichever
+        process wrote it), then a single-flight fit under an advisory lock
+        file — of N concurrent cold-store callers exactly one trains; the
+        rest block on the lock and load the winner's artifact.
+        """
+        key = registry_key(spec, reserved_clean, target_train, target_test)
+        digest = key_hash(key)
+        entry = self._memory_hit(digest)
+        if entry is not None:
+            return entry
+
+        def try_store() -> Optional[RegistryEntry]:
+            start = time.perf_counter()
+            detector = self.store.try_load(
+                DETECTOR_KIND, key, lambda artifact: self._load_detector(artifact, spec)
+            )
+            if detector is MISS:
+                return None
+            with self._lock:
+                self.store_hits += 1
+            return RegistryEntry(
+                key_hash=digest,
+                spec=spec,
+                detector=detector,
+                source="store",
+                nbytes=detector_nbytes(detector),
+                stage_reports=[
+                    StageReport(DETECTOR_KIND, True, time.perf_counter() - start)
+                ],
+            )
+
+        if self.store.enabled:
+            entry = try_store()
+            if entry is not None:
+                self._insert(entry)
+                return entry
+            # cold store: single-flight the fit across processes.  Everything
+            # under the lock re-checks the store first — the previous holder
+            # may have fitted exactly this detector while we waited.
+            lock = AdvisoryLock(
+                self.store.lock_path(DETECTOR_KIND, key),
+                stale_seconds=self.lock_stale_seconds,
+                wait_seconds=self.lock_wait_seconds,
+            )
+            with lock:
+                entry = try_store()
+                if entry is None:
+                    # a fit can outlast the stale threshold; a background
+                    # heartbeat re-stamps the lock so waiters on other
+                    # processes don't evict a *live* holder and refit
+                    stop_refresh = threading.Event()
+
+                    def heartbeat() -> None:
+                        # a quarter of the stale threshold, floored only far
+                        # enough to avoid a busy spin: the interval must stay
+                        # below the threshold even for very small (test-sized)
+                        # registry_lock_stale values, or a live fitter's lock
+                        # would go stale before its first refresh
+                        interval = max(self.lock_stale_seconds / 4.0, 0.05)
+                        while not stop_refresh.wait(interval):
+                            lock.refresh()
+
+                    refresher = threading.Thread(target=heartbeat, daemon=True)
+                    refresher.start()
+                    try:
+                        detector, reports = self._fit(
+                            spec, reserved_clean, target_train, target_test
+                        )
+                    finally:
+                        stop_refresh.set()
+                        refresher.join()
+                    with self._lock:
+                        self.fits += 1
+                    with self.store.open_write(DETECTOR_KIND, key) as artifact:
+                        self._save_detector(artifact, spec, detector)
+                    entry = RegistryEntry(
+                        key_hash=digest,
+                        spec=spec,
+                        detector=detector,
+                        source="fit",
+                        nbytes=detector_nbytes(detector),
+                        stage_reports=reports,
+                    )
+        else:
+            # no shared store: fall back to an in-process fit (the LRU still
+            # deduplicates repeat requests within this process)
+            detector, reports = self._fit(spec, reserved_clean, target_train, target_test)
+            with self._lock:
+                self.fits += 1
+            entry = RegistryEntry(
+                key_hash=digest,
+                spec=spec,
+                detector=detector,
+                source="fit",
+                nbytes=detector_nbytes(detector),
+                stage_reports=reports,
+            )
+        self._insert(entry)
+        return entry
+
+    def stats(self) -> Dict[str, Any]:
+        """Serving counters: the registry panel of the gateway dashboard."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "store_hits": self.store_hits,
+                "fits": self.fits,
+                "evictions": self.evictions,
+                "loaded": len(self._entries),
+                "loaded_bytes": sum(e.nbytes for e in self._entries.values()),
+                "lru_bytes": self.lru_bytes,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DetectorRegistry(loaded={len(self._entries)}, hits={self.hits}, "
+            f"store_hits={self.store_hits}, fits={self.fits}, evictions={self.evictions})"
+        )

@@ -37,7 +37,7 @@ from repro.config import RuntimeConfig
 from repro.core.detector import BpromDetector
 from repro.prompting.blackbox import QueryFunction
 from repro.models.classifier import ImageClassifier
-from repro.runtime.executor import ExecutorSession
+from repro.runtime.executor import ExecutorSession, ParallelExecutor
 from repro.runtime.service import AuditVerdict, resolve_executor
 
 
@@ -75,7 +75,48 @@ class AuditJob:
         return self.future.result(timeout)
 
 
-class AsyncAuditService:
+class SessionLifecycleMixin:
+    """Lazy, lock-guarded lifecycle of one long-lived executor session.
+
+    Shared by every job-queue front-end over a :class:`ParallelExecutor`
+    (this module's :class:`AsyncAuditService`, the gateway's MNTD sibling):
+    the session opens on first submit — concurrent first submits must not
+    each open a pool — stays alive across submissions, and :meth:`close`
+    drains it.  Hosts expose an ``executor`` attribute and call
+    :meth:`_init_session` from their constructor.
+    """
+
+    executor: "ParallelExecutor"
+
+    def _init_session(self) -> None:
+        self._session: Optional[ExecutorSession] = None
+        self._session_cm = None
+        self._session_lock = threading.Lock()
+
+    def _ensure_session(self) -> ExecutorSession:
+        with self._session_lock:
+            if self._session is None:
+                self._session_cm = self.executor.session()
+                self._session = self._session_cm.__enter__()
+            return self._session
+
+    def close(self) -> None:
+        """Drain outstanding jobs and shut the worker pool down."""
+        if self._session_cm is not None:
+            try:
+                self._session_cm.__exit__(None, None, None)
+            finally:
+                self._session_cm = None
+                self._session = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class AsyncAuditService(SessionLifecycleMixin):
     """Job-queue front-end over a fitted :class:`BpromDetector`.
 
     Typical streaming usage::
@@ -108,8 +149,7 @@ class AsyncAuditService:
         if max_in_flight < 1:
             raise ValueError(f"max_in_flight must be >= 1, got {max_in_flight}")
         self.max_in_flight = int(max_in_flight)
-        self._session: Optional[ExecutorSession] = None
-        self._session_cm = None
+        self._init_session()
         #: submitted jobs awaiting :meth:`as_completed`; retained until drained
         self._jobs: Dict[Future, AuditJob] = {}
         #: futures still computing — maintained by done-callbacks so
@@ -134,28 +174,8 @@ class AsyncAuditService:
             max_in_flight=max_in_flight,
         )
 
-    # -- session lifecycle ----------------------------------------------------
-    def _ensure_session(self) -> ExecutorSession:
-        with self._lock:  # concurrent first submits must not each open a pool
-            if self._session is None:
-                self._session_cm = self.executor.session()
-                self._session = self._session_cm.__enter__()
-            return self._session
-
-    def close(self) -> None:
-        """Drain outstanding jobs and shut the worker pool down."""
-        if self._session_cm is not None:
-            try:
-                self._session_cm.__exit__(None, None, None)
-            finally:
-                self._session_cm = None
-                self._session = None
-
-    def __enter__(self) -> "AsyncAuditService":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+    # session lifecycle (_ensure_session/close/context manager) comes from
+    # SessionLifecycleMixin
 
     # -- job queue ------------------------------------------------------------
     @property
@@ -197,6 +217,18 @@ class AsyncAuditService:
         # e.g. on the serial backend — safe because the add happened above
         future.add_done_callback(self._mark_done)
         return job
+
+    def reap(self, job: AuditJob) -> None:
+        """Drop one job from the retained queue without yielding it.
+
+        For callers that track completion themselves — the audit gateway
+        merges several services' verdict streams and consumes job futures
+        directly, so it reaps each job as it harvests the verdict; otherwise
+        the submitted-jobs queue would retain every handle until a (never
+        called) :meth:`as_completed` drained it.
+        """
+        with self._lock:
+            self._jobs.pop(job.future, None)
 
     def as_completed(self) -> Iterator[AuditJob]:
         """Yield submitted jobs in completion order until the queue drains.

@@ -27,18 +27,25 @@ from __future__ import annotations
 
 import os
 import shutil
+import time
 import uuid
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.runtime.locks import DEFAULT_STALE_SECONDS, DEFAULT_WAIT_SECONDS, AdvisoryLock
 from repro.runtime.store import (
     _MANIFEST,
+    LOCKS_DIRNAME,
     MISS,
     Artifact,
     ArtifactStore,
     PathLike,
     key_hash,
 )
+
+#: a temp directory younger than this is presumed to belong to a live writer
+#: and is never collected or migrated by the maintenance passes
+DEFAULT_GRACE_SECONDS = 300.0
 
 
 class ShardedArtifactStore(ArtifactStore):
@@ -77,6 +84,11 @@ class ShardedArtifactStore(ArtifactStore):
 
     def directory_for(self, kind: str, key: Any) -> Path:
         return self.shard_for(key).directory_for(kind, key)
+
+    def lock_path(self, kind: str, key: Any) -> Path:
+        # the home shard is deterministic across processes, so every worker
+        # that shares the shard list agrees on where a key's lock lives
+        return self.shard_for(key).lock_path(kind, key)
 
     def _locate(self, kind: str, key: Any) -> Optional[ArtifactStore]:
         """The shard currently holding the artifact (home first), if any."""
@@ -146,11 +158,19 @@ class ShardedArtifactStore(ArtifactStore):
         return payload
 
     @staticmethod
-    def _iter_artifact_dirs(shard: ArtifactStore) -> Iterator[Tuple[str, Path]]:
-        """Yield ``(kind, directory)`` for every complete artifact in a shard."""
+    def _iter_kind_dirs(shard: ArtifactStore) -> Iterator[Path]:
+        """Yield every artifact-kind directory of a shard (skips ``.locks`` etc.)."""
         if shard.root is None or not shard.root.exists():
             return
         for kind_dir in sorted(path for path in shard.root.iterdir() if path.is_dir()):
+            if kind_dir.name.startswith("."):
+                continue  # .locks and friends are not artifact kinds
+            yield kind_dir
+
+    @classmethod
+    def _iter_artifact_dirs(cls, shard: ArtifactStore) -> Iterator[Tuple[str, Path]]:
+        """Yield ``(kind, directory)`` for every complete artifact in a shard."""
+        for kind_dir in cls._iter_kind_dirs(shard):
             for artifact_dir in sorted(path for path in kind_dir.iterdir() if path.is_dir()):
                 if artifact_dir.name.startswith(".tmp-"):
                     continue
@@ -158,63 +178,103 @@ class ShardedArtifactStore(ArtifactStore):
                     yield kind_dir.name, artifact_dir
 
     # -- maintenance ----------------------------------------------------------
-    def rebalance(self) -> Dict[str, int]:
+    def maintenance_lock(
+        self,
+        wait_seconds: float = DEFAULT_WAIT_SECONDS,
+        stale_seconds: float = DEFAULT_STALE_SECONDS,
+    ) -> AdvisoryLock:
+        """The advisory lock serialising maintenance passes on this store.
+
+        It lives on the *first* shard, which every process sharing the shard
+        list agrees on regardless of list order changes mid-rebalance being
+        undefined anyway.  Registry writers do not take this lock — in-flight
+        ``open_write`` temp directories are instead protected by the
+        maintenance grace period (young temp dirs are never touched).
+        """
+        path = Path(self.shards[0].root) / LOCKS_DIRNAME / "maintenance.lock"
+        return AdvisoryLock(path, stale_seconds=stale_seconds, wait_seconds=wait_seconds)
+
+    @staticmethod
+    def _in_grace(path: Path, grace_seconds: float) -> bool:
+        """Whether a temp directory is young enough to belong to a live writer."""
+        if grace_seconds <= 0:
+            return False
+        try:
+            return (time.time() - path.stat().st_mtime) < grace_seconds
+        except OSError:
+            return True  # vanished mid-scan: its writer just renamed it into place
+
+    def rebalance(self, lock_wait_seconds: float = 60.0) -> Dict[str, int]:
         """Migrate every artifact to its home shard.
 
         The artifact directory name *is* the key hash, so homes are computed
         without reading manifests.  First-wins on conflict: if the home shard
         already holds the artifact, the stray copy is dropped.  Run this after
-        changing the shard list; like ``gc`` it assumes no concurrent writers.
-        Returns ``{"moved": ..., "kept": ..., "dropped_duplicates": ...}``.
+        changing the shard list.  Concurrent maintenance passes are excluded
+        by the store's advisory :meth:`maintenance_lock` (waiting up to
+        ``lock_wait_seconds``); concurrent *writers* are safe because a
+        half-written artifact only ever exists under a ``.tmp-`` name, which
+        rebalance never migrates.  Returns ``{"moved": ..., "kept": ...,
+        "dropped_duplicates": ...}``.
         """
         moved = kept = dropped = 0
-        # snapshot before moving anything, so an artifact migrated into a
-        # later-iterated shard is not revisited (and double-counted)
-        snapshot = [
-            (index, kind, artifact_dir)
-            for index, shard in enumerate(self.shards)
-            for kind, artifact_dir in self._iter_artifact_dirs(shard)
-        ]
-        for index, kind, artifact_dir in snapshot:
-            home = int(artifact_dir.name, 16) % len(self.shards)
-            if home == index:
-                kept += 1
-                continue
-            destination = self.shards[home].root / kind / artifact_dir.name
-            if destination.exists():
-                shutil.rmtree(artifact_dir, ignore_errors=True)
-                dropped += 1
-            else:
-                destination.parent.mkdir(parents=True, exist_ok=True)
-                # cross-device moves are copy-then-delete, so stage into a
-                # .tmp- name and rename: readers (and a crash) never see a
-                # half-copied directory behind a manifest, and gc() sweeps
-                # an interrupted staging dir
-                temp = destination.parent / f".tmp-{destination.name}-{uuid.uuid4().hex[:8]}"
-                shutil.move(str(artifact_dir), str(temp))
-                os.replace(temp, destination)
-                moved += 1
+        with self.maintenance_lock(wait_seconds=lock_wait_seconds):
+            # snapshot before moving anything, so an artifact migrated into a
+            # later-iterated shard is not revisited (and double-counted)
+            snapshot = [
+                (index, kind, artifact_dir)
+                for index, shard in enumerate(self.shards)
+                for kind, artifact_dir in self._iter_artifact_dirs(shard)
+            ]
+            for index, kind, artifact_dir in snapshot:
+                home = int(artifact_dir.name, 16) % len(self.shards)
+                if home == index:
+                    kept += 1
+                    continue
+                destination = self.shards[home].root / kind / artifact_dir.name
+                if destination.exists():
+                    shutil.rmtree(artifact_dir, ignore_errors=True)
+                    dropped += 1
+                else:
+                    destination.parent.mkdir(parents=True, exist_ok=True)
+                    # cross-device moves are copy-then-delete, so stage into a
+                    # .tmp- name and rename: readers (and a crash) never see a
+                    # half-copied directory behind a manifest, and gc() sweeps
+                    # an interrupted staging dir
+                    temp = destination.parent / f".tmp-{destination.name}-{uuid.uuid4().hex[:8]}"
+                    shutil.move(str(artifact_dir), str(temp))
+                    os.replace(temp, destination)
+                    moved += 1
         return {"moved": moved, "kept": kept, "dropped_duplicates": dropped}
 
-    def gc(self) -> Dict[str, int]:
+    def gc(
+        self,
+        grace_seconds: float = DEFAULT_GRACE_SECONDS,
+        lock_wait_seconds: float = 60.0,
+    ) -> Dict[str, int]:
         """Sweep crash leftovers: temp dirs and manifest-less artifact dirs.
 
-        Assumes no writer is active (a temp dir belonging to an in-progress
-        write would be collected).  Returns
+        Safe to run while writers are active: an in-progress ``open_write``
+        (or an in-flight registry ``get_or_fit``) only ever exposes a
+        ``.tmp-`` directory, and temp directories younger than
+        ``grace_seconds`` are left alone — only genuinely abandoned ones are
+        collected.  Concurrent maintenance passes are excluded by the store's
+        advisory :meth:`maintenance_lock`.  Returns
         ``{"temp_dirs": ..., "corrupt_artifacts": ...}``.
         """
         temp_dirs = corrupt = 0
-        for shard in self.shards:
-            if shard.root is None or not shard.root.exists():
-                continue
-            for kind_dir in sorted(path for path in shard.root.iterdir() if path.is_dir()):
-                for child in sorted(path for path in kind_dir.iterdir() if path.is_dir()):
-                    if child.name.startswith(".tmp-"):
-                        shutil.rmtree(child, ignore_errors=True)
-                        temp_dirs += 1
-                    elif not (child / f"{_MANIFEST}.json").exists():
-                        shutil.rmtree(child, ignore_errors=True)
-                        corrupt += 1
+        with self.maintenance_lock(wait_seconds=lock_wait_seconds):
+            for shard in self.shards:
+                for kind_dir in self._iter_kind_dirs(shard):
+                    for child in sorted(path for path in kind_dir.iterdir() if path.is_dir()):
+                        if child.name.startswith(".tmp-"):
+                            if self._in_grace(child, grace_seconds):
+                                continue  # presumed live writer
+                            shutil.rmtree(child, ignore_errors=True)
+                            temp_dirs += 1
+                        elif not (child / f"{_MANIFEST}.json").exists():
+                            shutil.rmtree(child, ignore_errors=True)
+                            corrupt += 1
         return {"temp_dirs": temp_dirs, "corrupt_artifacts": corrupt}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -97,6 +97,10 @@ class Artifact:
 
 _MANIFEST = "artifact"  # artifact.json, written into the temp dir before rename
 
+#: per-root directory holding advisory lock files; dot-prefixed so artifact
+#: iteration (stats, maintenance) never mistakes it for an artifact kind
+LOCKS_DIRNAME = ".locks"
+
 #: sentinel distinguishing "no artifact" from an artifact whose value is None;
 #: returning ``None`` for a miss would make a legitimately-``None`` artefact
 #: rebuild forever.  ``MISS`` is the public name for callers of ``try_load``.
@@ -143,6 +147,19 @@ class ArtifactStore:
         if not self.enabled:
             return False
         return (self.directory_for(kind, key) / f"{_MANIFEST}.json").exists()
+
+    def lock_path(self, kind: str, key: Any) -> Path:
+        """Advisory-lock file coordinating cross-process work on one key.
+
+        Lives beside the artifacts (under ``<root>/.locks/``), so every
+        process that shares the store root agrees on the lock's location; the
+        sharded store overrides this to the key's *home shard* for the same
+        reason.  The store only names the path — callers wrap it in
+        :class:`repro.runtime.locks.AdvisoryLock`.
+        """
+        if self.root is None:
+            raise RuntimeError("artifact store has no root directory")
+        return self.root / LOCKS_DIRNAME / f"{kind}-{key_hash(key)}.lock"
 
     # -- read / write ---------------------------------------------------------
     def open_read(self, kind: str, key: Any) -> Artifact:

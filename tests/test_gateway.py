@@ -1,0 +1,306 @@
+"""Tests for the multi-tenant audit gateway.
+
+Acceptance property: gateway verdicts are bit-identical (scores within 1e-9,
+identical labels) to routing each model through its tenant's ``AuditService``
+by hand, for a mixed catalogue spanning two tenants and two architecture
+families — plus routing rules, the shared in-flight budget and the ``stats``
+snapshot.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.models.registry import build_classifier
+from repro.runtime import AuditGateway, AuditService, DetectorRegistry
+from repro.runtime.registry import DetectorSpec
+
+
+@pytest.fixture(scope="module")
+def tenant_specs(micro_profile):
+    """Two BPROM tenants spanning two architecture families, plus MNTD."""
+    return {
+        "vision-cnn": DetectorSpec(
+            defense="bprom", profile=micro_profile, architecture="resnet18", seed=0
+        ),
+        "tabular-mlp": DetectorSpec(
+            defense="bprom", profile=micro_profile, architecture="mlp", seed=0
+        ),
+        "baseline-mntd": DetectorSpec(
+            defense="mntd", profile=micro_profile, architecture="mlp", seed=0, num_queries=4
+        ),
+    }
+
+
+@pytest.fixture(scope="module")
+def vendor_models(micro_profile, tiny_dataset):
+    """A mixed vendor catalogue: two models per architecture family."""
+    catalogue = {}
+    for family_arch, prefix in (("resnet18", "cnn"), ("mlp", "mlp")):
+        for index in range(2):
+            name = f"vendor-{prefix}-{index}"
+            model = build_classifier(
+                family_arch,
+                tiny_dataset.num_classes,
+                image_size=tiny_dataset.image_size,
+                rng=500 + index,
+                name=name,
+            )
+            model.fit(tiny_dataset, micro_profile.classifier, rng=600 + index)
+            catalogue[name] = model
+    return catalogue
+
+
+@pytest.fixture(scope="module")
+def warm_gateway(tenant_specs, micro_profile, tiny_dataset, tiny_test_dataset, tmp_path_factory):
+    """A gateway with all three tenants registered over a shared store."""
+    runtime = RuntimeConfig(cache_dir=str(tmp_path_factory.mktemp("gateway-store")))
+    gateway = AuditGateway(runtime=runtime, max_in_flight=3)
+    gateway.register_tenant(
+        "vision-cnn", tenant_specs["vision-cnn"], tiny_dataset, tiny_test_dataset, tiny_test_dataset
+    )
+    gateway.register_tenant(
+        "tabular-mlp", tenant_specs["tabular-mlp"], tiny_dataset, tiny_test_dataset, tiny_test_dataset
+    )
+    gateway.register_tenant("baseline-mntd", tenant_specs["baseline-mntd"], tiny_dataset)
+    yield gateway
+    gateway.close()
+
+
+# ---------------------------------------------------------------------------
+# routing
+# ---------------------------------------------------------------------------
+
+def test_routes_by_architecture_family(warm_gateway, vendor_models):
+    assert warm_gateway.route({"architecture": "resnet18"}).tenant_id == "vision-cnn"
+    assert warm_gateway.route({"architecture": "mobilenetv2"}).tenant_id == "vision-cnn"
+    assert warm_gateway.route({"architecture": "mlp"}).tenant_id == "tabular-mlp"
+    assert warm_gateway.route({"family": "cnn"}).tenant_id == "vision-cnn"
+
+
+def test_routes_by_defense_and_explicit_tenant(warm_gateway):
+    assert warm_gateway.route({"defense": "mntd"}).tenant_id == "baseline-mntd"
+    assert warm_gateway.route({"tenant": "tabular-mlp"}).tenant_id == "tabular-mlp"
+    with pytest.raises(KeyError):
+        warm_gateway.route({"tenant": "nobody"})
+
+
+def test_unroutable_and_ambiguous_submissions_are_rejected(warm_gateway):
+    with pytest.raises(KeyError):  # no transformer tenant registered
+        warm_gateway.route({"architecture": "vit"})
+    with pytest.raises(ValueError, match="ambiguous"):  # two bprom tenants match
+        warm_gateway.route({})
+
+
+def test_route_requires_registered_tenants(micro_profile):
+    gateway = AuditGateway(runtime=RuntimeConfig())
+    with pytest.raises(KeyError, match="no tenants"):
+        gateway.route({"architecture": "mlp"})
+
+
+# ---------------------------------------------------------------------------
+# verdict equivalence (the acceptance criterion)
+# ---------------------------------------------------------------------------
+
+def test_gateway_verdicts_match_per_tenant_audit_services(warm_gateway, vendor_models):
+    """Mixed two-family catalogue: the merged stream must agree with two
+    by-hand per-tenant ``AuditService.audit`` runs to <= 1e-9, identical labels."""
+    submissions = [(name, model) for name, model in vendor_models.items()]
+    verdicts = {verdict.name: verdict for verdict in warm_gateway.stream(submissions)}
+    assert set(verdicts) == set(vendor_models)
+
+    tenants = warm_gateway.tenants
+    for tenant_id, prefix in (("vision-cnn", "vendor-cnn"), ("tabular-mlp", "vendor-mlp")):
+        service = AuditService(tenants[tenant_id].entry.detector)
+        group = {name: model for name, model in vendor_models.items() if name.startswith(prefix)}
+        for reference in service.audit(group):
+            merged = verdicts[reference.name]
+            assert merged.tenant == tenant_id
+            assert abs(merged.backdoor_score - reference.backdoor_score) <= 1e-9
+            assert merged.is_backdoored == reference.is_backdoored
+            assert abs(merged.prompted_accuracy - reference.prompted_accuracy) <= 1e-9
+            assert merged.query_count == reference.query_count
+            assert merged.query_calls == reference.query_calls
+
+
+def test_gateway_matches_parallel_audit_too(
+    tenant_specs, vendor_models, tiny_dataset, tiny_test_dataset, tmp_path
+):
+    """Same equivalence under a parallel runtime and interleaved submission."""
+    runtime = RuntimeConfig(workers=2, cache_dir=str(tmp_path))
+    with AuditGateway(runtime=runtime, max_in_flight=2) as gateway:
+        gateway.register_tenant(
+            "vision-cnn", tenant_specs["vision-cnn"], tiny_dataset, tiny_test_dataset, tiny_test_dataset
+        )
+        gateway.register_tenant(
+            "tabular-mlp", tenant_specs["tabular-mlp"], tiny_dataset, tiny_test_dataset, tiny_test_dataset
+        )
+        # interleave families so routing alternates tenants
+        names = sorted(vendor_models, key=lambda name: name[::-1])
+        verdicts = {
+            verdict.name: verdict
+            for verdict in gateway.stream((name, vendor_models[name]) for name in names)
+        }
+        tenants = gateway.tenants
+        for tenant_id, prefix in (("vision-cnn", "vendor-cnn"), ("tabular-mlp", "vendor-mlp")):
+            service = AuditService(tenants[tenant_id].entry.detector)
+            group = {k: m for k, m in vendor_models.items() if k.startswith(prefix)}
+            for reference in service.audit(group):
+                assert abs(verdicts[reference.name].backdoor_score - reference.backdoor_score) <= 1e-9
+                assert verdicts[reference.name].is_backdoored == reference.is_backdoored
+
+
+def test_mntd_tenant_verdicts_match_direct_scoring(warm_gateway, vendor_models, tiny_dataset):
+    defense = warm_gateway.tenants["baseline-mntd"].entry.detector
+    model = vendor_models["vendor-mlp-0"]
+    [verdict] = list(
+        warm_gateway.stream([("suspect", model, {"defense": "mntd"})])
+    )
+    assert verdict.tenant == "baseline-mntd"
+    expected = defense.score_model(model, tiny_dataset)
+    assert verdict.backdoor_score == expected
+    assert verdict.is_backdoored == (expected >= defense.threshold)
+
+
+# ---------------------------------------------------------------------------
+# submission surface and accounting
+# ---------------------------------------------------------------------------
+
+def test_submit_and_as_completed_merge_tenant_streams(warm_gateway, vendor_models):
+    jobs = [
+        warm_gateway.submit(f"resub-{name}", model)  # routed via model.architecture
+        for name, model in vendor_models.items()
+    ]
+    assert all(job.key.startswith("resub-") for job in jobs)
+    harvested = {verdict.name: verdict.tenant for verdict in warm_gateway.as_completed()}
+    assert set(harvested) == {f"resub-{name}" for name in vendor_models}
+    assert harvested["resub-vendor-cnn-0"] == "vision-cnn"
+    assert harvested["resub-vendor-mlp-0"] == "tabular-mlp"
+    # drained: a fresh as_completed ends immediately
+    assert list(warm_gateway.as_completed()) == []
+    assert warm_gateway.in_flight == 0
+
+
+def test_stats_snapshot_reports_tenants_registry_and_store(warm_gateway, vendor_models):
+    stats = warm_gateway.stats()
+    assert set(stats["tenants"]) == {"vision-cnn", "tabular-mlp", "baseline-mntd"}
+    cnn = stats["tenants"]["vision-cnn"]
+    assert cnn["family"] == "cnn" and cnn["defense"] == "bprom"
+    # the streams above audited two models per bprom tenant (plus resubmits)
+    assert cnn["accepted"] + cnn["rejected"] >= 2
+    assert cnn["query_count"] > 0 and cnn["query_calls"] > 0
+    mntd = stats["tenants"]["baseline-mntd"]
+    assert mntd["query_count"] == 0  # MNTD queries are not black-box prompting
+    assert stats["registry"]["fits"] == 3  # one fit per tenant, cold store
+    assert stats["registry"]["evictions"] == 0
+    assert isinstance(stats["store"], dict) and stats["store"]
+    assert stats["in_flight"] == 0
+    assert stats["max_in_flight"] == 3
+
+
+def test_shared_budget_caps_concurrent_work(tenant_specs, tiny_dataset, tiny_test_dataset, tmp_path):
+    runtime = RuntimeConfig(cache_dir=str(tmp_path))
+    with AuditGateway(runtime=runtime, max_in_flight=1) as gateway:
+        assert gateway.max_in_flight == 1
+    with pytest.raises(ValueError):
+        AuditGateway(runtime=runtime, max_in_flight=0)
+
+
+def test_duplicate_tenant_registration_is_rejected(tenant_specs, tiny_dataset, tmp_path):
+    gateway = AuditGateway(runtime=RuntimeConfig(cache_dir=str(tmp_path)))
+    gateway.register_tenant("baseline-mntd", tenant_specs["baseline-mntd"], tiny_dataset)
+    with pytest.raises(ValueError, match="already registered"):
+        gateway.register_tenant("baseline-mntd", tenant_specs["baseline-mntd"], tiny_dataset)
+    gateway.close()
+
+
+def test_gateway_reuses_registry_across_instances(
+    tenant_specs, tiny_dataset, tiny_test_dataset, tmp_path
+):
+    """A second gateway process over the same store stands its tenants up
+    with zero training (the registry acceptance property, gateway-shaped)."""
+    runtime = RuntimeConfig(cache_dir=str(tmp_path))
+    with AuditGateway(runtime=runtime) as first:
+        first.register_tenant(
+            "tabular-mlp", tenant_specs["tabular-mlp"], tiny_dataset, tiny_test_dataset, tiny_test_dataset
+        )
+        first.register_tenant("baseline-mntd", tenant_specs["baseline-mntd"], tiny_dataset)
+    registry = DetectorRegistry(runtime=runtime)
+    with AuditGateway(registry=registry) as second:
+        mlp = second.register_tenant(
+            "tabular-mlp", tenant_specs["tabular-mlp"], tiny_dataset, tiny_test_dataset, tiny_test_dataset
+        )
+        mntd = second.register_tenant("baseline-mntd", tenant_specs["baseline-mntd"], tiny_dataset)
+        assert mlp.entry.source == "store" and not mlp.entry.trained
+        assert mntd.entry.source == "store" and not mntd.entry.trained
+        assert registry.fits == 0
+
+
+def test_stream_delivers_harvested_verdicts_before_routing_errors(warm_gateway, vendor_models):
+    """An unroutable backlog entry must not swallow verdicts already computed
+    (and counted): the stream yields them first, then raises."""
+    model = vendor_models["vendor-mlp-0"]
+    submissions = [
+        ("good", model),
+        ("bad", model, {"architecture": "vit"}),  # no transformer tenant
+    ]
+    received = []
+    with pytest.raises(KeyError):
+        for verdict in warm_gateway.stream(submissions):
+            received.append(verdict.name)
+    assert received == ["good"]
+    assert warm_gateway.in_flight == 0
+
+
+def test_failed_job_is_reaped_and_other_verdicts_stay_harvestable(warm_gateway, vendor_models):
+    """A failing audit (e.g. a vendor endpoint raising) must re-raise to the
+    consumer without leaking its job handle in the tenant service; jobs that
+    completed meanwhile remain harvestable via as_completed()."""
+    model = vendor_models["vendor-mlp-0"]
+
+    def exploding_query(images):
+        raise RuntimeError("vendor endpoint down")
+
+    warm_gateway.submit("fine", model)
+    warm_gateway.submit("boom", model, query_function=exploding_query)
+    harvested = []
+    with pytest.raises(RuntimeError, match="endpoint down"):
+        for verdict in warm_gateway.as_completed():
+            harvested.append(verdict.name)
+    # the failed job was reaped from its tenant's retained queue ...
+    assert warm_gateway.tenants["tabular-mlp"].service._jobs == {}
+    # ... and whatever was not yielded before the error is still recoverable
+    remaining = [verdict.name for verdict in warm_gateway.as_completed()]
+    assert sorted(harvested + remaining) == ["fine"]
+    assert warm_gateway.in_flight == 0
+
+
+def test_stream_consumes_submissions_lazily(warm_gateway, vendor_models):
+    """stream() must not materialise the whole submissions iterable up front:
+    a generator loading models on demand streams in bounded memory."""
+    model = vendor_models["vendor-mlp-0"]
+    pulled = []
+
+    def entries():
+        for index in range(5):
+            pulled.append(index)
+            yield (f"lazy-{index}", model)
+
+    stream = warm_gateway.stream(entries())
+    first = next(stream)
+    assert first.name == "lazy-0"
+    assert len(pulled) <= 2  # at most one entry pulled ahead of the budget
+    assert len(list(stream)) == 4
+
+
+def test_mntd_tenant_warns_on_ignored_query_function(warm_gateway, vendor_models):
+    model = vendor_models["vendor-mlp-0"]
+    with pytest.warns(UserWarning, match="MNTD tenant ignores"):
+        verdicts = list(
+            warm_gateway.stream(
+                [("wrapped", model, {"defense": "mntd"})],
+                query_functions={"wrapped": model.predict_proba},
+            )
+        )
+    assert verdicts[0].tenant == "baseline-mntd"

@@ -5,13 +5,16 @@ shard holds each artefact."""
 
 from __future__ import annotations
 
+import os
+import time
+
 import numpy as np
 import pytest
 
 from repro.config import RuntimeConfig
 from repro.eval.harness import ExperimentContext
 from repro.models.classifier import ImageClassifier
-from repro.runtime import ArtifactStore, ShardedArtifactStore
+from repro.runtime import ArtifactStore, LockTimeout, ShardedArtifactStore
 from repro.runtime.store import MISS
 
 
@@ -183,11 +186,58 @@ def test_gc_sweeps_temp_dirs_and_corrupt_artifacts(tmp_path):
     corpse = tmp_path / "b" / "demo" / "deadbeefdeadbeefdead"
     corpse.mkdir(parents=True)
     (corpse / "value.json").write_text("{}")  # no manifest -> corrupt
-    assert store.gc() == {"temp_dirs": 1, "corrupt_artifacts": 1}
+    # grace_seconds=0: collect even freshly created leftovers
+    assert store.gc(grace_seconds=0.0) == {"temp_dirs": 1, "corrupt_artifacts": 1}
     assert not (tmp_path / "a" / "demo" / ".tmp-crashed-writer").exists()
     assert not corpse.exists()
     assert store.contains("demo", key)
-    assert store.gc() == {"temp_dirs": 0, "corrupt_artifacts": 0}
+    assert store.gc(grace_seconds=0.0) == {"temp_dirs": 0, "corrupt_artifacts": 0}
+
+
+def test_gc_grace_period_spares_live_writers(tmp_path):
+    """A temp dir younger than the grace period belongs to an in-flight
+    ``open_write`` (e.g. a registry ``get_or_fit``) and must survive gc."""
+    store = ShardedArtifactStore([tmp_path / "a", tmp_path / "b"])
+    fresh = tmp_path / "a" / "demo" / ".tmp-in-flight-writer"
+    fresh.mkdir(parents=True)
+    stale = tmp_path / "b" / "demo" / ".tmp-abandoned-writer"
+    stale.mkdir(parents=True)
+    hour_ago = time.time() - 3600
+    os.utime(stale, (hour_ago, hour_ago))
+    assert store.gc(grace_seconds=300.0) == {"temp_dirs": 1, "corrupt_artifacts": 0}
+    assert fresh.exists()
+    assert not stale.exists()
+
+
+def test_maintenance_takes_the_advisory_lock(tmp_path):
+    """gc/rebalance are serialised by the store's maintenance lock: a pass
+    cannot start while another maintenance holder is active."""
+    store = ShardedArtifactStore([tmp_path / "a", tmp_path / "b"])
+    with store.maintenance_lock():
+        with pytest.raises(LockTimeout):
+            store.gc(lock_wait_seconds=0.05)
+        with pytest.raises(LockTimeout):
+            store.rebalance(lock_wait_seconds=0.05)
+    # released: both passes run (and leave their own lock released behind them)
+    assert store.gc(grace_seconds=0.0) == {"temp_dirs": 0, "corrupt_artifacts": 0}
+    assert store.rebalance() == {"moved": 0, "kept": 0, "dropped_duplicates": 0}
+
+
+def test_maintenance_ignores_the_locks_directory(tmp_path):
+    """Lock files under ``.locks`` are not artifacts: stats, gc and rebalance
+    must neither count nor collect them."""
+    store = ShardedArtifactStore([tmp_path / "a", tmp_path / "b"])
+    key = {"k": 1}
+    with store.open_write("demo", key) as artifact:
+        artifact.save_json("value", 1)
+    lock_path = store.lock_path("demo", key)
+    lock_path.parent.mkdir(parents=True, exist_ok=True)
+    lock_path.write_text("{}")
+    assert store.gc(grace_seconds=0.0) == {"temp_dirs": 0, "corrupt_artifacts": 0}
+    assert store.rebalance()["kept"] == 1
+    assert lock_path.exists()
+    for shard_stats in store.stats().values():
+        assert shard_stats["artifacts"] <= 1
 
 
 # ---------------------------------------------------------------------------
