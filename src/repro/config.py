@@ -238,6 +238,33 @@ _RUNTIME_BACKENDS = ("serial", "thread", "process")
 #: accepted values for RuntimeConfig.shadow_training / REPRO_SHADOW_TRAINING
 #: (single source of truth, shared with ShadowModelFactory)
 SHADOW_TRAINING_MODES = ("auto", "stacked", "sequential")
+#: accepted values for RuntimeConfig.precision / REPRO_PRECISION: the training
+#: dtype of shadow pools and detectors.  "float64" is the reference tier
+#: (bit-identical to every run before the precision split existed);
+#: "float32" halves memory traffic on the conv-bound CNN pools and is
+#: equivalent under loosened tolerances (detector AUROC/verdict parity, not
+#: byte parity) — see ShadowModelFactory
+PRECISIONS = ("float64", "float32")
+
+
+def resolve_precision(explicit: Optional[str] = None) -> str:
+    """Collapse an optional explicit precision and the environment to a tier.
+
+    Precedence: an explicit value wins, then the ``REPRO_PRECISION``
+    environment variable, then the ``"float64"`` reference tier.  Raises a
+    :class:`ValueError` naming the offending source on an unknown tier.
+    """
+    source = "precision"
+    value = explicit
+    if value is None:
+        source = "REPRO_PRECISION"
+        value = os.environ.get("REPRO_PRECISION") or None
+    if value is None:
+        return "float64"
+    value = str(value).lower()
+    if value not in PRECISIONS:
+        raise ValueError(f"{source} must be one of {PRECISIONS}, got {value!r}")
+    return value
 
 
 @dataclass(frozen=True)
@@ -292,6 +319,10 @@ class RuntimeConfig:
     #: :class:`~repro.runtime.gateway.AuditGateway`; ``None`` derives
     #: 2x ``workers`` at gateway construction
     gateway_max_in_flight: Optional[int] = None
+    #: training dtype tier for shadow pools and detectors ("float64" |
+    #: "float32"); every artifact-store key derived from a non-default tier
+    #: carries the precision, so the tiers never share cache entries
+    precision: str = "float64"
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -334,6 +365,11 @@ class RuntimeConfig:
             raise ValueError(
                 f"gateway_max_in_flight must be >= 1, got {self.gateway_max_in_flight}"
             )
+        object.__setattr__(self, "precision", str(self.precision).lower())
+        if self.precision not in PRECISIONS:
+            raise ValueError(
+                f"precision must be one of {PRECISIONS}, got {self.precision!r}"
+            )
 
     @property
     def parallel(self) -> bool:
@@ -353,7 +389,8 @@ class RuntimeConfig:
         ``REPRO_CACHE_DIR``, ``REPRO_CACHE``, ``REPRO_SHARD_DIRS``,
         ``REPRO_MAX_IN_FLIGHT``, ``REPRO_SHADOW_TRAINING``,
         ``REPRO_REGISTRY_LRU_BYTES``, ``REPRO_REGISTRY_LOCK_WAIT``,
-        ``REPRO_REGISTRY_LOCK_STALE`` and ``REPRO_GATEWAY_MAX_IN_FLIGHT``.
+        ``REPRO_REGISTRY_LOCK_STALE``, ``REPRO_GATEWAY_MAX_IN_FLIGHT`` and
+        ``REPRO_PRECISION``.
         ``REPRO_SHARD_DIRS`` is a list of shard roots separated by
         ``os.pathsep`` (``:`` on POSIX).  A malformed numeric value raises a
         :class:`ValueError` naming the offending variable instead of a bare
@@ -374,6 +411,7 @@ class RuntimeConfig:
             registry_lock_wait=_env_float("REPRO_REGISTRY_LOCK_WAIT", 600.0),
             registry_lock_stale=_env_float("REPRO_REGISTRY_LOCK_STALE", 3600.0),
             gateway_max_in_flight=_env_int("REPRO_GATEWAY_MAX_IN_FLIGHT", None),
+            precision=os.environ.get("REPRO_PRECISION") or "float64",
         )
 
 

@@ -158,13 +158,19 @@ class BpromDetector:
 
     # -- training -----------------------------------------------------------------
     def _base_key(self, reserved_clean: Optional[ImageDataset]) -> dict:
-        return {
+        key = {
             "profile": profile_to_dict(self.profile),
             "architecture": self.architecture,
             "shadow_attack": self.shadow_attack,
             "seed": self.seed,
             "reserved": dataset_fingerprint(reserved_clean) if reserved_clean is not None else None,
         }
+        # the key entry appears only for the non-default tier, so every
+        # float64 artifact cached before the precision split keeps its hash
+        # (warm caches stay warm) while float32 runs can never collide with it
+        if self.runtime.precision != "float64":
+            key["precision"] = self.runtime.precision
+        return key
 
     def fit(
         self,
@@ -200,6 +206,7 @@ class BpromDetector:
                 shadow_attack=self.shadow_attack,
                 seed=derive_seed(self.seed, "shadows"),
                 training_mode=self.runtime.shadow_training,
+                precision=self.runtime.precision,
             )
             return factory.build_pool(reserved_clean, executor=self._executor)
 
@@ -293,6 +300,7 @@ class BpromDetector:
                 "meta_classifier_kind": self.meta_classifier_kind,
                 "meta_augmentation": self.meta_augmentation,
                 "seed": self.seed,
+                "precision": self.runtime.precision,
                 "shadow_labels": [int(s.is_backdoored) for s in self.shadow_models],
             },
         )
@@ -325,6 +333,12 @@ class BpromDetector:
                 f"saved detector has format {meta['format_version']}, "
                 f"expected {DETECTOR_FORMAT_VERSION}"
             )
+        # pre-precision-split artifacts carry no "precision" entry: float64
+        saved_precision = meta.get("precision", "float64")
+        if runtime is None:
+            runtime = DEFAULT_RUNTIME.with_overrides(precision=saved_precision)
+        elif runtime.precision != saved_precision:
+            runtime = runtime.with_overrides(precision=saved_precision)
         detector = cls(
             profile=profile_from_dict(meta["profile"]),
             architecture=meta["architecture"],

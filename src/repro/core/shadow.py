@@ -7,9 +7,16 @@ from dataclasses import dataclass
 from functools import partial
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.attacks.base import BackdoorAttack
 from repro.attacks.registry import attack_defaults, build_attack
-from repro.config import SHADOW_TRAINING_MODES, ExperimentProfile, FAST
+from repro.config import (
+    SHADOW_TRAINING_MODES,
+    ExperimentProfile,
+    FAST,
+    resolve_precision,
+)
 from repro.datasets.base import ImageDataset
 from repro.models.classifier import ImageClassifier
 from repro.models.registry import architecture_family, build_classifier
@@ -91,12 +98,22 @@ class ShadowModelFactory:
         shadow_attack: str = "badnets",
         seed: SeedLike = 0,
         training_mode: Optional[str] = None,
+        precision: Optional[str] = None,
     ) -> None:
         self.profile = profile or FAST
         self.architecture = architecture
         self.shadow_attack = shadow_attack
         self.seed = normalize_seed(seed)
         self.training_mode = training_mode
+        #: precision tier the shadows train in ("float64" reference tier or
+        #: the opt-in "float32" tier); models are always *initialised* in
+        #: float64 — same RNG draws — and cast before training, so the
+        #: float64 tier is bit-identical to the pre-precision-split factory
+        self.precision = resolve_precision(precision)
+
+    def _enter_precision_tier(self, classifier) -> None:
+        if self.precision == "float32":
+            classifier.astype(np.float32)
 
     def _resolve_training_mode(self) -> Tuple[str, bool]:
         """Resolved ``(mode, from_auto)`` — ``from_auto`` marks a policy pick.
@@ -135,6 +152,7 @@ class ShadowModelFactory:
             rng=seed,
             name=f"shadow-clean-{index}",
         )
+        self._enter_precision_tier(classifier)
         return _PreparedShadow(
             classifier=classifier,
             dataset=reserved_clean,
@@ -169,6 +187,7 @@ class ShadowModelFactory:
             rng=seed + 17,
             name=f"shadow-backdoor-{index}",
         )
+        self._enter_precision_tier(classifier)
         return _PreparedShadow(
             classifier=classifier,
             dataset=result.dataset,

@@ -13,7 +13,7 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.config import ExperimentProfile, FAST
+from repro.config import ExperimentProfile, FAST, resolve_precision
 from repro.core.shadow import ShadowModel, ShadowModelFactory
 from repro.datasets.base import ImageDataset
 from repro.defenses.base import ModelLevelDefense
@@ -99,11 +99,14 @@ class MNTDDefense(ModelLevelDefense):
         num_queries: int = 16,
         threshold: float = 0.5,
         seed: SeedLike = 0,
+        precision: Optional[str] = None,
     ) -> None:
         self.profile = profile or FAST
         self.architecture = architecture
         self.shadow_attacks = tuple(shadow_attacks)
         self.num_queries = int(num_queries)
+        #: precision tier the shadow pool trains in (see RuntimeConfig.precision)
+        self.precision = resolve_precision(precision)
         #: hard-decision threshold on the meta-probability (used by services
         #: that need a verdict rather than a raw score, e.g. the audit gateway)
         self.threshold = float(threshold)
@@ -131,6 +134,7 @@ class MNTDDefense(ModelLevelDefense):
                 profile=self.profile,
                 architecture=self.architecture,
                 seed=derive_seed(self.seed, "mntd-shadows"),
+                precision=self.precision,
             )
             self.shadow_models = factory.build_pool(reserved_clean, attacks=attacks)
         else:

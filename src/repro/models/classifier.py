@@ -70,6 +70,29 @@ class ImageClassifier:
         self.in_channels = int(in_channels)
         self.history = TrainingHistory()
 
+    # -- precision ------------------------------------------------------------
+    @property
+    def dtype(self) -> np.dtype:
+        """Parameter dtype of the wrapped model (the precision tier it runs in)."""
+        params = self.model.parameters()
+        return params[0].data.dtype if params else np.dtype(np.float64)
+
+    def astype(self, dtype) -> "ImageClassifier":
+        """Cast the wrapped model into a precision tier (see ``Module.astype``)."""
+        self.model.astype(dtype)
+        return self
+
+    def _as_input(self, images: np.ndarray) -> np.ndarray:
+        """Match inputs to the model's precision tier.
+
+        float64 models see their inputs untouched (the historical behaviour,
+        preserving bit-identity); float32 models cast so the whole pass runs
+        in float32 instead of silently upcasting at the first matmul.
+        """
+        if self.dtype == np.float32:
+            return np.asarray(images, dtype=np.float32)
+        return images
+
     # -- state ----------------------------------------------------------------
     def state_dict(self) -> dict:
         """Parameter/buffer arrays of the wrapped model (see :class:`Module`)."""
@@ -119,7 +142,7 @@ class ImageClassifier:
             ):
                 if augment:
                     images = random_horizontal_flip(images, rng=rng)
-                logits = self.model(images)
+                logits = self.model(self._as_input(images))
                 loss = criterion(logits, labels)
                 optimizer.zero_grad()
                 self.model.backward(criterion.backward())
@@ -141,10 +164,13 @@ class ImageClassifier:
     def predict_logits(self, images: np.ndarray, batch_size: int = 256) -> np.ndarray:
         """Raw logits for an NCHW batch (model switched to eval mode)."""
         self.model.eval()
+        images = self._as_input(images)
         outputs = []
         for start in range(0, images.shape[0], batch_size):
             outputs.append(self.model(images[start : start + batch_size]))
-        return np.concatenate(outputs, axis=0) if outputs else np.empty((0, self.num_classes))
+        if not outputs:
+            return np.empty((0, self.num_classes), dtype=self.dtype)
+        return np.concatenate(outputs, axis=0)
 
     def predict_proba(self, images: np.ndarray, batch_size: int = 256) -> np.ndarray:
         """Softmax confidence vectors — the only view a black-box defender gets."""
@@ -157,6 +183,7 @@ class ImageClassifier:
     def features(self, images: np.ndarray, batch_size: int = 256) -> np.ndarray:
         """Penultimate-layer features (white-box defenses and visualisation only)."""
         self.model.eval()
+        images = self._as_input(images)
         outputs = []
         for start in range(0, images.shape[0], batch_size):
             outputs.append(self.model.features(images[start : start + batch_size]))

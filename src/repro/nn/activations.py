@@ -36,7 +36,9 @@ class LeakyReLU(Module):
 class GELU(Module):
     """Gaussian error linear unit (tanh approximation)."""
 
-    _C = np.sqrt(2.0 / np.pi)
+    # Python float, not np.float64 scalar: a 0-d float64 would promote
+    # float32 activations to float64 under NumPy 2 promotion rules
+    _C = float(np.sqrt(2.0 / np.pi))
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._x = x

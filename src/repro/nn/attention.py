@@ -103,7 +103,9 @@ class MultiHeadSelfAttention(Module):
         q = self._split_heads(self.q_proj(x))
         k = self._split_heads(self.k_proj(x))
         v = self._split_heads(self.v_proj(x))
-        scale = 1.0 / np.sqrt(self.head_dim)
+        # Python float, not np.float64 scalar: a 0-d float64 would promote
+        # float32 activations to float64 under NumPy 2 promotion rules
+        scale = 1.0 / float(np.sqrt(self.head_dim))
         scores = np.matmul(q, k.transpose(0, 1, 3, 2)) * scale
         attn = softmax(scores, axis=-1)
         context = np.matmul(attn, v)

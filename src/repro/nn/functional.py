@@ -7,35 +7,48 @@ from typing import Tuple
 import numpy as np
 
 
+def _as_float(x: np.ndarray) -> np.ndarray:
+    """Coerce to a floating dtype, preserving float32 (the low-precision tier).
+
+    Non-float inputs (int arrays, lists) promote to float64 exactly as the old
+    hard cast did, so every pre-existing caller sees unchanged results.
+    """
+    x = np.asarray(x)
+    if x.dtype == np.float32:
+        return x
+    return np.asarray(x, dtype=np.float64)
+
+
 def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
-    """Numerically stable softmax along ``axis``."""
-    logits = np.asarray(logits, dtype=np.float64)
+    """Numerically stable softmax along ``axis`` (dtype-preserving for floats)."""
+    logits = _as_float(logits)
     shifted = logits - np.max(logits, axis=axis, keepdims=True)
     exp = np.exp(shifted)
     return exp / np.sum(exp, axis=axis, keepdims=True)
 
 
 def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
-    """Numerically stable log-softmax along ``axis``."""
-    logits = np.asarray(logits, dtype=np.float64)
+    """Numerically stable log-softmax along ``axis`` (dtype-preserving for floats)."""
+    logits = _as_float(logits)
     shifted = logits - np.max(logits, axis=axis, keepdims=True)
     return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
 
 
-def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+def one_hot(labels: np.ndarray, num_classes: int, dtype=np.float64) -> np.ndarray:
     """Integer labels -> one-hot matrix of shape (N, num_classes)."""
     labels = np.asarray(labels, dtype=np.int64)
     if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
         raise ValueError(
             f"labels out of range [0, {num_classes}): [{labels.min()}, {labels.max()}]"
         )
-    out = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    out = np.zeros((labels.shape[0], num_classes), dtype=dtype)
     out[np.arange(labels.shape[0]), labels] = 1.0
     return out
 
 
 def sigmoid(x: np.ndarray) -> np.ndarray:
-    x = np.asarray(x, dtype=np.float64)
+    """Numerically stable logistic function (dtype-preserving for floats)."""
+    x = _as_float(x)
     out = np.empty_like(x)
     pos = x >= 0
     out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
@@ -45,8 +58,16 @@ def sigmoid(x: np.ndarray) -> np.ndarray:
 
 
 def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
-    """Top-1 accuracy given logits or probabilities of shape (N, K)."""
+    """Top-1 accuracy given logits or probabilities of shape (N, K).
+
+    Accepts any dtype numpy can ``argmax`` over; an empty batch (``N == 0``,
+    any dtype — e.g. the ``(0, K)`` output of ``predict_logits`` on no
+    images) returns ``0.0`` rather than propagating a NaN mean.
+    """
+    logits = np.asarray(logits)
     labels = np.asarray(labels)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be 2-D (N, K), got shape {logits.shape}")
     if logits.shape[0] != labels.shape[0]:
         raise ValueError("logits and labels disagree on batch size")
     if logits.shape[0] == 0:
@@ -57,7 +78,33 @@ def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
 
 # ---------------------------------------------------------------------------
 # im2col / col2im — the workhorse behind Conv2d and the pooling layers.
+#
+# Shape/dtype contract (shared by the explicit im2col GEMM path and the
+# implicit-GEMM engine in repro.nn.conv, which must stay interchangeable):
+#
+# * im2col(x: (N, C, H, W)) -> cols: (N*out_h*out_w, C*kernel*kernel), with
+#   rows ordered image-major then row-major over the output grid, and columns
+#   ordered channel-major then (ky, kx) row-major over the kernel window.
+#   conv_windows exposes the same placement tensor as a strided
+#   (N, C, out_h, out_w, k, k) view without the column copy.
+# * col2im(cols) is the exact adjoint: scatter-add over the same ordering,
+#   back to (N, C, H, W).
+# * Both preserve the input dtype (float32 stays float32; the accumulator in
+#   col2im is the cols dtype).  col2im's cache blocking is bitwise-safe (it
+#   never reorders any per-element accumulation), but anything that re-tiles
+#   or re-orients a *GEMM* — matmul_col2im's fused fold, the implicit/
+#   pointwise conv engines — changes BLAS kernel selection and rounds
+#   differently on some shapes; those paths agree with the explicit form only
+#   to accumulation-rounding tolerance and are reserved for the float32 tier
+#   (see repro.nn.conv).
 # ---------------------------------------------------------------------------
+
+#: byte budget per col2im scatter-add tile; sized so one tile's working set
+#: (cols slice + padded slice) stays within a typical per-core L2.  Folding
+#: the whole (N, C·k·k, L) buffer in one pass streams it k^2 times through
+#: DRAM; per-image blocks keep the scatter-add resident.
+_COL2IM_BLOCK_BYTES = 1 << 19
+
 
 def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
     """Spatial output size of a convolution along one dimension."""
@@ -70,18 +117,18 @@ def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
     return out
 
 
-def im2col(
+def conv_windows(
     x: np.ndarray, kernel: int, stride: int, padding: int
 ) -> Tuple[np.ndarray, int, int]:
-    """Unfold an NCHW batch into a column matrix.
+    """Strided kernel-placement view over an NCHW batch (no data copied).
 
-    Returns ``(cols, out_h, out_w)`` where ``cols`` has shape
-    ``(N * out_h * out_w, C * kernel * kernel)``.
-
-    Built on :func:`numpy.lib.stride_tricks.sliding_window_view`: the unfold
-    itself is a zero-copy view (no per-offset Python loop), and the only copy
-    is the final reshape into column layout.  The input dtype is preserved, so
-    float32 megabatches stay float32 end to end.
+    Returns ``(windows, out_h, out_w)`` where ``windows`` is a zero-copy
+    ``(N, C, out_h, out_w, kernel, kernel)`` view (over a padded copy when
+    ``padding > 0``) whose ``[n, c, i, j]`` block is the receptive field of
+    output pixel ``(i, j)``.  ``im2col`` is exactly
+    ``windows.transpose(0, 2, 3, 1, 4, 5).reshape(N*out_h*out_w, C*k*k)``;
+    the implicit-GEMM conv engine contracts over this view directly instead
+    of materialising that k^2-times-larger column copy.
     """
     n, c, h, w = x.shape
     out_h = conv_output_size(h, kernel, stride, padding)
@@ -90,12 +137,46 @@ def im2col(
         x = np.pad(
             x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
         )
-    # (n, c, H', W', k, k) view over every kernel placement, strided down to
-    # the convolution's output grid — still a view, no data copied yet
     windows = np.lib.stride_tricks.sliding_window_view(x, (kernel, kernel), axis=(2, 3))
-    windows = windows[:, :, ::stride, ::stride]
+    return windows[:, :, ::stride, ::stride], out_h, out_w
+
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int, padding: int
+) -> Tuple[np.ndarray, int, int]:
+    """Unfold an NCHW batch into a column matrix.
+
+    Returns ``(cols, out_h, out_w)`` where ``cols`` has shape
+    ``(N * out_h * out_w, C * kernel * kernel)`` — see the module-level
+    contract above for the exact row/column ordering.
+
+    Built on :func:`conv_windows`: the unfold itself is a zero-copy view (no
+    per-offset Python loop), and the only copy is the final reshape into
+    column layout.  The input dtype is preserved, so float32 megabatches stay
+    float32 end to end.
+    """
+    n, c = x.shape[:2]
+    windows, out_h, out_w = conv_windows(x, kernel, stride, padding)
     cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * out_h * out_w, c * kernel * kernel)
     return cols, out_h, out_w
+
+
+def _fold_block(padded, cols6, kernel: int, stride: int, out_h: int, out_w: int) -> None:
+    """Scatter-add one image block of placement gradients into ``padded``.
+
+    ``cols6`` is ``(B, C, k, k, out_h, out_w)``; per (ky, kx) offset the
+    strided slice assignment is the adjoint of the ``conv_windows`` view.
+    """
+    for ky in range(kernel):
+        y_max = ky + stride * out_h
+        for kx in range(kernel):
+            x_max = kx + stride * out_w
+            padded[:, :, ky:y_max:stride, kx:x_max:stride] += cols6[:, :, ky, kx, :, :]
+
+
+def _col2im_block_images(per_image_bytes: int) -> int:
+    """How many images one col2im scatter-add tile should cover."""
+    return max(1, _COL2IM_BLOCK_BYTES // max(per_image_bytes, 1))
 
 
 def col2im(
@@ -105,17 +186,68 @@ def col2im(
     stride: int,
     padding: int,
 ) -> np.ndarray:
-    """Fold a column matrix back into an NCHW gradient (adjoint of :func:`im2col`)."""
+    """Fold a column matrix back into an NCHW gradient (adjoint of :func:`im2col`).
+
+    The k^2-offset scatter-add is cache-blocked over images: per-image folds
+    are independent, so tiling the batch axis keeps each tile's cols slice
+    and output slice L2-resident instead of streaming the whole k^2-sized
+    buffer through DRAM once per kernel offset.  Per-element accumulation
+    order over (ky, kx) is unchanged, so the result is bitwise identical to
+    the unblocked fold.
+    """
     n, c, h, w = input_shape
     out_h = conv_output_size(h, kernel, stride, padding)
     out_w = conv_output_size(w, kernel, stride, padding)
-    cols = cols.reshape(n, out_h, out_w, c, kernel, kernel).transpose(0, 3, 4, 5, 1, 2)
+    cols6 = cols.reshape(n, out_h, out_w, c, kernel, kernel).transpose(0, 3, 4, 5, 1, 2)
     padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
-    for ky in range(kernel):
-        y_max = ky + stride * out_h
-        for kx in range(kernel):
-            x_max = kx + stride * out_w
-            padded[:, :, ky:y_max:stride, kx:x_max:stride] += cols[:, :, ky, kx, :, :]
+    block = _col2im_block_images(out_h * out_w * c * kernel * kernel * cols.itemsize)
+    for start in range(0, n, block):
+        _fold_block(
+            padded[start : start + block],
+            cols6[start : start + block],
+            kernel,
+            stride,
+            out_h,
+            out_w,
+        )
+    if padding > 0:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+def matmul_col2im(
+    grad_flat: np.ndarray,
+    w_mat: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Fused ``col2im(grad_flat @ w_mat)`` without the full column buffer.
+
+    ``grad_flat`` is ``(N*out_h*out_w, C_out)`` (image-major rows, like
+    im2col) and ``w_mat`` is ``(C_out, C*k*k)``; the result is the conv
+    grad-input of shape ``input_shape``.  Each image tile runs its slice of
+    the GEMM and immediately folds the product while it is cache-hot, so the
+    ``(N*out_h*out_w, C*k*k)`` intermediate never exists in full.  Row
+    blocking re-tiles the GEMM, which can change BLAS kernel selection and
+    hence rounding, so the result matches the unfused two-step form only to
+    accumulation tolerance — this fused path therefore backs the implicit
+    conv engine (float32 tier), never the float64 reference path.
+    """
+    n, c, h, w = input_shape
+    out_h = conv_output_size(h, kernel, stride, padding)
+    out_w = conv_output_size(w, kernel, stride, padding)
+    hw = out_h * out_w
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=grad_flat.dtype)
+    block = _col2im_block_images(hw * c * kernel * kernel * grad_flat.itemsize)
+    for start in range(0, n, block):
+        stop = min(start + block, n)
+        grad_cols = grad_flat[start * hw : stop * hw] @ w_mat
+        cols6 = grad_cols.reshape(
+            stop - start, out_h, out_w, c, kernel, kernel
+        ).transpose(0, 3, 4, 5, 1, 2)
+        _fold_block(padded[start:stop], cols6, kernel, stride, out_h, out_w)
     if padding > 0:
         return padded[:, :, padding:-padding, padding:-padding]
     return padded

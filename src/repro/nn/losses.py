@@ -22,7 +22,10 @@ class CrossEntropyLoss:
     def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
         labels = np.asarray(labels, dtype=np.int64)
         num_classes = logits.shape[1]
-        targets = one_hot(labels, num_classes)
+        # targets follow the logits dtype so the returned gradient feeds the
+        # float32 tier's backward pass without an implicit float64 upcast
+        target_dtype = np.float32 if logits.dtype == np.float32 else np.float64
+        targets = one_hot(labels, num_classes, dtype=target_dtype)
         if self.label_smoothing > 0:
             targets = (
                 targets * (1.0 - self.label_smoothing) + self.label_smoothing / num_classes

@@ -6,7 +6,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from repro.nn.parameter import Parameter
+from repro.nn.parameter import Parameter, as_param_dtype
 
 
 class Module:
@@ -103,7 +103,7 @@ class Module:
         for name, param in own_params.items():
             param.copy_(state[name])
         for name, _ in own_buffers.items():
-            self._set_buffer_by_path(name, np.asarray(state[name], dtype=np.float64))
+            self._set_buffer_by_path(name, as_param_dtype(state[name]))
 
     def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
         """Non-trainable state (e.g. BatchNorm running statistics)."""
@@ -115,13 +115,13 @@ class Module:
     def register_buffer(self, name: str, value: np.ndarray) -> None:
         if "_buffers" not in self.__dict__:
             object.__setattr__(self, "_buffers", {})
-        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        self._buffers[name] = as_param_dtype(value)
 
     def get_buffer(self, name: str) -> np.ndarray:
         return self._buffers[name]
 
     def set_buffer(self, name: str, value: np.ndarray) -> None:
-        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        self._buffers[name] = as_param_dtype(value)
 
     def _set_buffer_by_path(self, path: str, value: np.ndarray) -> None:
         parts = path.split(".")
@@ -129,6 +129,26 @@ class Module:
         for part in parts[:-1]:
             module = module._modules[part]
         module.set_buffer(parts[-1], value)
+
+    def astype(self, dtype) -> "Module":
+        """Cast every parameter and buffer to ``dtype`` (``float32``/``float64``).
+
+        This is how a model enters the low-precision training tier: build (and
+        initialise) in ``float64`` so RNG streams are unchanged, then cast.
+        Optimisers allocate their scratch with ``zeros_like``/``empty_like``,
+        so construct them *after* the cast.
+        """
+        dtype = np.dtype(dtype)
+        if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValueError(f"unsupported parameter dtype {dtype}")
+        for module in self.modules():
+            for param in module._parameters.values():
+                param.data = param.data.astype(dtype, copy=False)
+                if param.grad is not None:
+                    param.grad = param.grad.astype(dtype, copy=False)
+            for name, buf in getattr(module, "_buffers", {}).items():
+                module._buffers[name] = buf.astype(dtype, copy=False)
+        return self
 
     # -- computation ------------------------------------------------------
     def forward(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract

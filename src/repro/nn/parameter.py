@@ -7,14 +7,29 @@ from typing import Optional
 import numpy as np
 
 
+def as_param_dtype(data: np.ndarray) -> np.ndarray:
+    """Coerce values to a supported parameter dtype.
+
+    ``float32`` is preserved (the opt-in low-precision training tier —
+    see ``RuntimeConfig.precision``); everything else is promoted to
+    ``float64``, the reference tier, exactly as before the precision split.
+    """
+    data = np.asarray(data)
+    if data.dtype == np.float32:
+        return data
+    return np.asarray(data, dtype=np.float64)
+
+
 class Parameter:
     """A named trainable tensor with an accumulated gradient.
 
     Attributes
     ----------
     data:
-        The parameter values (always ``float64`` for numerical-gradient
-        friendliness; the small models used here do not benefit from float32).
+        The parameter values: ``float64`` in the reference tier (numerical-
+        gradient friendliness), or ``float32`` when the model was cast to the
+        low-precision training tier (``Module.astype``).  The dtype is set at
+        construction and every gradient/copy is coerced to it.
     grad:
         The accumulated gradient of the current backward pass, or ``None`` if
         no backward pass has touched this parameter since the last
@@ -27,7 +42,7 @@ class Parameter:
     __slots__ = ("data", "grad", "name", "requires_grad")
 
     def __init__(self, data: np.ndarray, name: str = "", requires_grad: bool = True) -> None:
-        self.data = np.asarray(data, dtype=np.float64)
+        self.data = as_param_dtype(data)
         self.grad: Optional[np.ndarray] = None
         self.name = name
         self.requires_grad = requires_grad
@@ -47,7 +62,7 @@ class Parameter:
         """Add ``grad`` into the stored gradient (creating it if absent)."""
         if not self.requires_grad:
             return
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = np.asarray(grad, dtype=self.data.dtype)
         if grad.shape != self.data.shape:
             raise ValueError(
                 f"gradient shape {grad.shape} does not match parameter "
@@ -59,8 +74,13 @@ class Parameter:
             self.grad += grad
 
     def copy_(self, values: np.ndarray) -> None:
-        """In-place overwrite of the parameter values (shape must match)."""
-        values = np.asarray(values, dtype=np.float64)
+        """In-place overwrite of the parameter values (shape must match).
+
+        Values are coerced to the parameter's own dtype, so loading a
+        ``float64`` state dict into a ``float32``-tier model (and vice versa)
+        works without silently changing the model's precision.
+        """
+        values = np.asarray(values, dtype=self.data.dtype)
         if values.shape != self.data.shape:
             raise ValueError(
                 f"cannot copy values of shape {values.shape} into parameter of "

@@ -50,7 +50,7 @@ import numpy as np
 
 from repro.nn.activations import GELU, Identity, LeakyReLU, ReLU, Sigmoid, Tanh
 from repro.nn.attention import MultiHeadSelfAttention, PatchEmbedding
-from repro.nn.conv import Conv2d
+from repro.nn.conv import Conv2d, conv_engine_override
 from repro.nn.functional import im2col, col2im, log_softmax, softmax
 from repro.nn.layers import Dropout, Flatten, Linear
 from repro.nn.module import Module
@@ -174,10 +174,24 @@ class StackedConv2d(Module):
         xg = x_flat if self.groups == 1 else x_flat[:, group * cin_g : (group + 1) * cin_g]
         return im2col(xg, self.kernel_size, self.stride, self.padding)
 
+    def _select_pointwise(self, x: np.ndarray) -> bool:
+        # precision-gated exactly like Conv2d's pointwise engine, and with the
+        # same per-model core shapes, so the stacked layer and its sequential
+        # twin always round identically for the same input dtype
+        return (
+            self.kernel_size == 1
+            and self.padding == 0
+            and self.groups == 1
+            and (x.dtype == np.float32 or conv_engine_override() == "implicit")
+        )
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         pool, batch = x.shape[0], x.shape[1]
         self._input_shape = x.shape
         self._dtype = x.dtype
+        self._pointwise = self._select_pointwise(x)
+        if self._pointwise:
+            return self._forward_pointwise(x)
         x_flat = x.reshape(pool * batch, *x.shape[2:])
         cout_g = self.out_channels // self.groups
         cols_cache = [] if self.training else None
@@ -200,7 +214,53 @@ class StackedConv2d(Module):
             merged = merged + self.bias.data[:, None, :, None, None]
         return merged
 
+    def _forward_pointwise(self, x: np.ndarray) -> np.ndarray:
+        # per-model 1x1 convs are channel-mixing matmuls; a single batched
+        # matmul over the model axis has the same per-model 2-D GEMM core
+        # shape as the sequential pointwise path, so the twins round alike
+        pool, batch = x.shape[0], x.shape[1]
+        xs = x if self.stride == 1 else x[:, :, :, :: self.stride, :: self.stride]
+        out_h, out_w = xs.shape[3], xs.shape[4]
+        x4 = xs.reshape(pool, batch, self.in_channels, out_h * out_w)
+        self._pw_x4 = x4
+        self._out_hw = (out_h, out_w)
+        w3 = self.weight.data.reshape(pool, self.out_channels, self.in_channels)
+        merged = np.matmul(w3[:, None], x4).reshape(
+            pool, batch, self.out_channels, out_h, out_w
+        )
+        if self.use_bias:
+            merged = merged + self.bias.data[:, None, :, None, None]
+        return merged
+
+    def _backward_pointwise(self, grad_output: np.ndarray) -> np.ndarray:
+        pool, batch = self._input_shape[:2]
+        out_h, out_w = self._out_hw
+        hw = out_h * out_w
+        if self.use_bias:
+            self.bias.accumulate_grad(grad_output.sum(axis=(1, 3, 4)))
+        x4 = self._pw_x4
+        g4 = grad_output.reshape(pool, batch, self.out_channels, hw)
+        # grad-weight core per model: (C_out, B*L) @ (B*L, C_in), matching the
+        # sequential pointwise GEMM row order (image-major then output-pixel)
+        g_rows = g4.transpose(0, 2, 1, 3).reshape(pool, self.out_channels, batch * hw)
+        x_rows = x4.transpose(0, 1, 3, 2).reshape(pool, batch * hw, self.in_channels)
+        self.weight.accumulate_grad(
+            np.matmul(g_rows, x_rows).reshape(self.weight.data.shape)
+        )
+        w3 = self.weight.data.reshape(pool, self.out_channels, self.in_channels)
+        grad4 = np.matmul(w3.transpose(0, 2, 1)[:, None], g4)
+        if self.stride == 1:
+            grad_input = grad4.reshape(self._input_shape)
+        else:
+            grad_input = np.zeros(self._input_shape, dtype=grad4.dtype)
+            grad_input[:, :, :, :: self.stride, :: self.stride] = grad4.reshape(
+                pool, batch, self.in_channels, out_h, out_w
+            )
+        return np.asarray(grad_input, dtype=self._dtype)
+
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if getattr(self, "_pointwise", False):
+            return self._backward_pointwise(grad_output)
         pool, batch = self._input_shape[:2]
         out_h, out_w = self._out_hw
         cin_g = self.in_channels // self.groups
@@ -782,7 +842,10 @@ class StackedCrossEntropyLoss:
             raise ValueError(
                 f"labels out of range [0, {num_classes}): [{labels.min()}, {labels.max()}]"
             )
-        targets = np.zeros((pool, batch, num_classes), dtype=np.float64)
+        # follow the logits dtype (float32 tier) so backward's gradient does
+        # not upcast the stacked backward pass to float64
+        target_dtype = np.float32 if logits.dtype == np.float32 else np.float64
+        targets = np.zeros((pool, batch, num_classes), dtype=target_dtype)
         targets[np.arange(pool)[:, None], np.arange(batch)[None, :], labels] = 1.0
         if self.label_smoothing > 0:
             targets = (
@@ -875,6 +938,9 @@ def fit_stacked(
 
     images = [dataset.images for dataset in train_datasets]
     labels = [dataset.labels for dataset in train_datasets]
+    # minibatches follow the parameter dtype (float32 tier models run their
+    # whole forward/backward in float32; float64 casts are no-ops)
+    param_dtype = params[0].data.dtype if params else np.float64
     stacked.train()
     histories = [TrainingHistory() for _ in range(pool)]
     for _ in range(config.epochs):
@@ -885,7 +951,9 @@ def fit_stacked(
         epoch_accs: List[List[float]] = [[] for _ in range(pool)]
         for start in range(0, num_samples, config.batch_size):
             batch_idx = [order[start : start + config.batch_size] for order in orders]
-            xb = np.stack([images[i][batch_idx[i]] for i in range(pool)])
+            xb = np.stack([images[i][batch_idx[i]] for i in range(pool)]).astype(
+                param_dtype, copy=False
+            )
             yb = np.stack([labels[i][batch_idx[i]] for i in range(pool)])
             logits = stacked(xb)
             losses = criterion(logits, yb)
@@ -926,6 +994,8 @@ def predict_logits_many(
     stacked = stack_modules(models)
     stacked.eval()
     pool = len(models)
+    stacked_params = stacked.parameters()
+    param_dtype = stacked_params[0].data.dtype if stacked_params else np.float64
     images = np.asarray(images)
     if per_model:
         if images.shape[0] != pool:
@@ -939,14 +1009,14 @@ def predict_logits_many(
     for start in range(0, num_samples, batch_size):
         if per_model:
             chunk = images[:, start : start + batch_size]
-            xb = np.ascontiguousarray(chunk)
+            xb = np.ascontiguousarray(chunk, dtype=param_dtype)
         else:
             chunk = images[start : start + batch_size]
-            xb = np.broadcast_to(chunk, (pool, *chunk.shape)).copy()
+            xb = np.broadcast_to(chunk, (pool, *chunk.shape)).astype(param_dtype)
         outputs.append(stacked(xb))
     if not outputs:
         num_classes = getattr(classifiers[0], "num_classes", 0)
-        return np.empty((pool, 0, num_classes))
+        return np.empty((pool, 0, num_classes), dtype=param_dtype)
     return np.concatenate(outputs, axis=1)
 
 

@@ -502,6 +502,7 @@ class AuditGateway:
                 tenant.tenant_id: {
                     "defense": tenant.defense,
                     "architecture": tenant.spec.architecture,
+                    "precision": tenant.spec.precision,
                     "family": tenant.family,
                     "detector_source": tenant.entry.source,
                     "accepted": tenant.accepted,

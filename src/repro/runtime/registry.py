@@ -40,6 +40,7 @@ from repro.config import (
     DEFAULT_RUNTIME,
     ExperimentProfile,
     FAST,
+    PRECISIONS,
     RuntimeConfig,
     profile_to_dict,
 )
@@ -81,6 +82,10 @@ class DetectorSpec:
     shadow_attacks: Tuple[str, ...] = ("badnets", "blend", "trojan")
     #: MNTD: number of tuned query probes
     num_queries: int = 16
+    #: precision tier the shadow pools train in: "float64" (reference,
+    #: bit-identity contract) or "float32" (fast tier, tolerance contract).
+    #: Tiers never share artifacts — the registry key carries the precision.
+    precision: str = "float64"
 
     def __post_init__(self) -> None:
         if self.defense not in DEFENSE_KINDS:
@@ -89,6 +94,11 @@ class DetectorSpec:
             )
         architecture_family(self.architecture)  # fail fast on unknown arch
         object.__setattr__(self, "shadow_attacks", tuple(self.shadow_attacks))
+        object.__setattr__(self, "precision", str(self.precision).lower())
+        if self.precision not in PRECISIONS:
+            raise ValueError(
+                f"unknown precision {self.precision!r}; available: {PRECISIONS}"
+            )
 
     @property
     def family(self) -> str:
@@ -130,7 +140,7 @@ def registry_key(
     target_test: Optional[ImageDataset] = None,
 ) -> Dict[str, Any]:
     """The artifact-store key payload addressing one fitted detector."""
-    return {
+    key = {
         "defense": spec.defense,
         "profile": profile_to_dict(spec.profile),
         "architecture": spec.architecture,
@@ -143,6 +153,12 @@ def registry_key(
         "target_train": dataset_fingerprint(target_train) if target_train is not None else None,
         "target_test": dataset_fingerprint(target_test) if target_test is not None else None,
     }
+    # only the non-default tier adds an entry, so detectors cached before the
+    # precision split keep their hashes (float64 warm stores stay warm) while
+    # float32 fits can never be served a float64 artifact or vice versa
+    if spec.precision != "float64":
+        key["precision"] = spec.precision
+    return key
 
 
 def _arrays_nbytes(arrays: Dict[str, Any]) -> int:
@@ -273,7 +289,10 @@ class DetectorRegistry:
     def _load_detector(self, artifact: Artifact, spec: DetectorSpec) -> Any:
         if spec.defense == "mntd":
             return MNTDDefense.load(artifact.directory)
-        return BpromDetector.load(artifact.directory, runtime=self.runtime)
+        return BpromDetector.load(
+            artifact.directory,
+            runtime=self.runtime.with_overrides(precision=spec.precision),
+        )
 
     # -- fitting --------------------------------------------------------------
     def _fit(
@@ -291,6 +310,7 @@ class DetectorRegistry:
                 num_queries=spec.num_queries,
                 threshold=spec.threshold,
                 seed=spec.seed,
+                precision=spec.precision,
             )
             start = time.perf_counter()
             defense.fit(reserved_clean)
@@ -306,7 +326,9 @@ class DetectorRegistry:
             shadow_attack=spec.shadow_attack,
             threshold=spec.threshold,
             seed=spec.seed,
-            runtime=self.runtime,
+            # the spec's precision is authoritative for what gets fitted; the
+            # registry's own runtime keeps its worker/caching settings
+            runtime=self.runtime.with_overrides(precision=spec.precision),
         )
         detector.fit(reserved_clean, target_train, target_test)
         return detector, list(detector.stage_reports)

@@ -239,6 +239,7 @@ def save_mntd_defense(artifact: Artifact, defense, name: str = "mntd") -> None:
             "num_queries": defense.num_queries,
             "threshold": defense.threshold,
             "seed": defense.seed,
+            "precision": defense.precision,
             "shadow_labels": [int(s.is_backdoored) for s in defense.shadow_models],
         },
     )
@@ -262,6 +263,8 @@ def load_mntd_defense(artifact: Artifact, name: str = "mntd"):
         num_queries=meta["num_queries"],
         threshold=meta["threshold"],
         seed=meta["seed"],
+        # artifacts saved before the precision split are float64 by definition
+        precision=meta.get("precision", "float64"),
     )
     defense._query_images = np.asarray(
         artifact.load_arrays(name)["query_images"], dtype=np.float64

@@ -26,6 +26,7 @@ ALL_ENV_KNOBS = (
     "REPRO_REGISTRY_LOCK_WAIT",
     "REPRO_REGISTRY_LOCK_STALE",
     "REPRO_GATEWAY_MAX_IN_FLIGHT",
+    "REPRO_PRECISION",
 )
 
 
@@ -52,6 +53,7 @@ def test_every_knob_round_trips(monkeypatch, tmp_path):
     monkeypatch.setenv("REPRO_REGISTRY_LOCK_WAIT", "12.5")
     monkeypatch.setenv("REPRO_REGISTRY_LOCK_STALE", "90")
     monkeypatch.setenv("REPRO_GATEWAY_MAX_IN_FLIGHT", "8")
+    monkeypatch.setenv("REPRO_PRECISION", "FLOAT32")  # case-folded
     runtime = RuntimeConfig.from_env()
     assert runtime == RuntimeConfig(
         workers=4,
@@ -65,6 +67,7 @@ def test_every_knob_round_trips(monkeypatch, tmp_path):
         registry_lock_wait=12.5,
         registry_lock_stale=90.0,
         gateway_max_in_flight=8,
+        precision="float32",
     )
 
 
@@ -82,6 +85,7 @@ def test_empty_values_fall_back_to_defaults(monkeypatch):
     assert runtime.registry_lock_wait == 600.0
     assert runtime.registry_lock_stale == 3600.0
     assert runtime.gateway_max_in_flight is None
+    assert runtime.precision == "float64"
 
 
 def test_cache_toggle(monkeypatch):
@@ -125,6 +129,10 @@ def test_malformed_enumerations_fail_fast(monkeypatch):
     monkeypatch.delenv("REPRO_BACKEND")
     monkeypatch.setenv("REPRO_SHADOW_TRAINING", "psychic")
     with pytest.raises(ValueError, match="shadow_training"):
+        RuntimeConfig.from_env()
+    monkeypatch.delenv("REPRO_SHADOW_TRAINING")
+    monkeypatch.setenv("REPRO_PRECISION", "float16")
+    with pytest.raises(ValueError, match="precision"):
         RuntimeConfig.from_env()
 
 

@@ -192,6 +192,9 @@ def test_stats_snapshot_reports_tenants_registry_and_store(warm_gateway, vendor_
     assert cnn["query_count"] > 0 and cnn["query_calls"] > 0
     mntd = stats["tenants"]["baseline-mntd"]
     assert mntd["query_count"] == 0  # MNTD queries are not black-box prompting
+    # every tenant reports its precision tier so fleet dashboards can tell
+    # a float32 tenant from the float64 reference tier at a glance
+    assert all(t["precision"] == "float64" for t in stats["tenants"].values())
     assert stats["registry"]["fits"] == 3  # one fit per tenant, cold store
     assert stats["registry"]["evictions"] == 0
     assert isinstance(stats["store"], dict) and stats["store"]

@@ -110,6 +110,7 @@ def test_registry_key_tracks_every_knob(micro_profile, tiny_dataset, tiny_test_d
         spec.with_overrides(architecture="resnet18"),
         spec.with_overrides(threshold=0.7),
         spec.with_overrides(num_queries=5),
+        spec.with_overrides(precision="float32"),
     ):
         other = key_hash(registry_key(changed, tiny_dataset, tiny_test_dataset, tiny_test_dataset))
         assert other != base, changed
@@ -122,6 +123,32 @@ def test_spec_rejects_unknown_defense_and_architecture(micro_profile):
         DetectorSpec(defense="strip", profile=micro_profile)
     with pytest.raises(ValueError):
         DetectorSpec(profile=micro_profile, architecture="vgg")
+    with pytest.raises(ValueError, match="precision"):
+        DetectorSpec(profile=micro_profile, precision="float16")
+
+
+def test_precision_tiers_never_share_a_cache_address(
+    micro_profile, tiny_dataset, tiny_test_dataset
+):
+    """float32 fits get their own store keys; float64 keys are unchanged.
+
+    The back-compat half matters as much as the separation half: the default
+    tier must produce byte-identical key payloads to the pre-precision-split
+    registry, so stores warmed before the split keep serving hits.
+    """
+    spec = DetectorSpec(defense="bprom", profile=micro_profile, architecture="mlp", seed=3)
+    reference = registry_key(spec, tiny_dataset, tiny_test_dataset, tiny_test_dataset)
+    assert "precision" not in reference  # pre-split float64 hashes stay stable
+    fast = registry_key(
+        spec.with_overrides(precision="float32"),
+        tiny_dataset,
+        tiny_test_dataset,
+        tiny_test_dataset,
+    )
+    assert fast["precision"] == "float32"
+    assert key_hash(fast) != key_hash(reference)
+    # spec normalisation: case-folded on construction, like the env knob
+    assert DetectorSpec(profile=micro_profile, precision="FLOAT32").precision == "float32"
 
 
 def test_bprom_spec_requires_target_datasets(micro_profile, tiny_dataset, tmp_path):

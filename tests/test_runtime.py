@@ -263,6 +263,35 @@ def test_detector_save_load_bit_identical_scores(
         assert loaded.prompted_accuracy == original.prompted_accuracy
 
 
+def test_detector_artifact_records_and_restores_precision(fitted_detector, tmp_path):
+    """The saved metadata pins the precision tier and wins over the caller's.
+
+    A float32-fitted detector must never silently serve under a float64
+    runtime (or vice versa) — ``load`` adopts the tier recorded at save time.
+    Artifacts written before the precision split carry no entry and are
+    float64 by definition.
+    """
+    import json
+
+    path = fitted_detector.save(tmp_path / "detector")
+    meta_path = path / "detector.json"
+    meta = json.loads(meta_path.read_text())
+    assert meta["precision"] == "float64"
+
+    # pre-split artifact: no "precision" entry at all -> float64
+    del meta["precision"]
+    meta_path.write_text(json.dumps(meta))
+    assert BpromDetector.load(path).runtime.precision == "float64"
+
+    # float32 artifact overrides whatever runtime the caller supplies
+    meta["precision"] = "float32"
+    meta_path.write_text(json.dumps(meta))
+    assert BpromDetector.load(path).runtime.precision == "float32"
+    restored = BpromDetector.load(path, runtime=RuntimeConfig(workers=2))
+    assert restored.runtime.precision == "float32"
+    assert restored.runtime.workers == 2  # the rest of the runtime is kept
+
+
 def test_save_requires_fitted_detector(micro_profile, tmp_path):
     detector = BpromDetector(profile=micro_profile, architecture="mlp", seed=0)
     with pytest.raises(RuntimeError):

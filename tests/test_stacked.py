@@ -326,3 +326,48 @@ def test_stacked_batchnorm_buffers_unstack_per_model(rng):
         np.testing.assert_array_equal(
             layer.get_buffer("running_var"), reference.get_buffer("running_var")
         )
+
+
+@pytest.mark.parametrize("architecture", ["mlp", "resnet18"])
+def test_stacked_pool_matches_sequential_in_float32_tier(
+    micro_profile, tiny_dataset, architecture
+):
+    """float32 pools trade bit-identity for speed: the stacked and sequential
+    twins may pick different conv engines, so they agree only to float32
+    accumulation tolerance — but the clean/backdoor labels, attack targets and
+    training trajectories must still line up."""
+    profile = micro_profile.with_overrides(
+        classifier=TrainingConfig(epochs=2, batch_size=16, learning_rate=1e-2)
+    )
+    sequential = ShadowModelFactory(
+        profile=profile, architecture=architecture, seed=11,
+        training_mode="sequential", precision="float32",
+    ).build_pool(tiny_dataset, num_clean=2, num_backdoor=2)
+    stacked = ShadowModelFactory(
+        profile=profile, architecture=architecture, seed=11,
+        training_mode="stacked", precision="float32",
+    ).build_pool(tiny_dataset, num_clean=2, num_backdoor=2)
+    for pool in (sequential, stacked):
+        for shadow in pool:
+            assert shadow.classifier.dtype == np.float32
+    _assert_pools_match(sequential, stacked, tolerance=5e-2)
+
+
+def test_float32_pool_matches_float64_pool_within_tolerance(
+    micro_profile, tiny_dataset
+):
+    """The two precision tiers of the *same* factory configuration must stay
+    interchangeable at the level the detector consumes them: near-identical
+    weights, identical shadow labels."""
+    profile = micro_profile.with_overrides(
+        classifier=TrainingConfig(epochs=2, batch_size=16, learning_rate=1e-2)
+    )
+    pools = {}
+    for precision in ("float64", "float32"):
+        pools[precision] = ShadowModelFactory(
+            profile=profile, architecture="resnet18", seed=11,
+            training_mode="sequential", precision=precision,
+        ).build_pool(tiny_dataset, num_clean=1, num_backdoor=1)
+    assert pools["float64"][0].classifier.dtype == np.float64
+    assert pools["float32"][0].classifier.dtype == np.float32
+    _assert_pools_match(pools["float64"], pools["float32"], tolerance=5e-2)
