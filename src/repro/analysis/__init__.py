@@ -1,0 +1,42 @@
+"""repro-lint: AST-based contract linter for the repository's invariants.
+
+Four rule families guard the contracts every PR so far has shipped by
+convention (see ARCHITECTURE.md "Static contracts"):
+
+* **D-series** — determinism: no global RNG state, no unseeded generators, no
+  wall clocks feeding computation, no filesystem/set iteration order leaks;
+* **P-series** — precision tiers: no float64 scalars/scratch upcasting the
+  float32 tier in ``repro/nn`` forward/backward paths;
+* **K-series** — config/key sync: every ``RuntimeConfig``-style knob is wired
+  to its ``REPRO_*`` env var and documented; key builders only record a
+  precision entry off the float64 reference tier;
+* **L-series** — lock/exception hygiene in ``repro/runtime``.
+
+Run as ``python -m repro.analysis src/``; exits non-zero on new findings.
+Silence a deliberate exception inline with a reason::
+
+    value = risky()  # repro-lint: disable=D104 -- timestamps only label logs
+
+or tolerate pre-existing findings with ``--baseline`` / ``--write-baseline``.
+"""
+
+from repro.analysis.baseline import fingerprint, load_baseline, write_baseline
+from repro.analysis.core import RULES, Finding, Rule, register
+from repro.analysis.engine import LintResult, lint_paths, lint_source
+from repro.analysis.report import render_json, render_rule_list, render_text
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "RULES",
+    "Rule",
+    "fingerprint",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "register",
+    "render_json",
+    "render_rule_list",
+    "render_text",
+    "write_baseline",
+]

@@ -1,0 +1,96 @@
+"""CLI entry point: ``python -m repro.analysis [paths...]``.
+
+Exit codes: 0 — clean (after inline suppressions and the baseline), 1 — new
+findings (or unparsable files), 2 — usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.baseline import write_baseline
+from repro.analysis.engine import lint_paths
+from repro.analysis.report import render_json, render_rule_list, render_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="repro-lint: contract linter for determinism, precision-tier, "
+        "config-sync and lock-safety invariants",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="tolerate findings recorded in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write current findings to FILE and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids or family letters to run (e.g. D,P or D105)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        help="comma-separated rule ids or family letters to skip",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list every rule and exit"
+    )
+    return parser
+
+
+def _split(value: Optional[str]) -> Optional[List[str]]:
+    if value is None:
+        return None
+    return [part.strip() for part in value.split(",") if part.strip()]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(render_rule_list())
+        return 0
+
+    result = lint_paths(
+        args.paths,
+        baseline=args.baseline,
+        select=_split(args.select),
+        ignore=_split(args.ignore),
+    )
+
+    if args.write_baseline:
+        write_baseline(args.write_baseline, result.findings)
+        print(
+            f"wrote {len(result.findings)} finding(s) to baseline "
+            f"{args.write_baseline}"
+        )
+        return 0
+
+    print(render_json(result) if args.format == "json" else render_text(result))
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Checked-in baselines: tolerate pre-existing findings, fail on new ones.
+
+A baseline entry fingerprints a finding by ``(rule, path, offending line
+text)`` rather than line number, so unrelated edits above a baselined finding
+do not resurrect it.  Identical lines are counted: a baseline with two entries
+for the same fingerprint tolerates at most two such findings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from repro.analysis.core import Finding
+
+PathLike = Union[str, Path]
+
+BASELINE_VERSION = 1
+
+
+def fingerprint(finding: Finding) -> str:
+    payload = f"{finding.rule}|{finding.path}|{finding.line_text}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def write_baseline(path: PathLike, findings: List[Finding]) -> None:
+    entries = [
+        {
+            "rule": finding.rule,
+            "path": finding.path,
+            "fingerprint": fingerprint(finding),
+            "message": finding.message,
+        }
+        for finding in sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def load_baseline(path: PathLike) -> "Counter[str]":
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(f"unsupported baseline version {version!r} in {path}")
+    return Counter(entry["fingerprint"] for entry in payload.get("findings", []))
+
+
+def split_new(
+    findings: List[Finding], baseline: "Counter[str]"
+) -> Tuple[List[Finding], List[Finding]]:
+    """Partition findings into (new, baselined) against a baseline counter."""
+    budget = Counter(baseline)
+    new: List[Finding] = []
+    baselined: List[Finding] = []
+    for finding in findings:
+        digest = fingerprint(finding)
+        if budget[digest] > 0:
+            budget[digest] -= 1
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    return new, baselined

@@ -1,0 +1,186 @@
+"""K-series rules: config/env wiring and cache-key construction stay in sync.
+
+Two contracts:
+
+* every field of a config dataclass that ships a ``from_env`` classmethod must
+  be wired to a ``REPRO_<FIELD>`` environment variable and documented in the
+  ``from_env`` docstring — a new knob cannot silently miss its env plumbing
+  (K101/K102/K103);
+* artifact/registry key builders only add a ``"precision"`` entry *off* the
+  float64 reference tier, so every hash minted before the precision split
+  stays warm while the tiers can never share an artifact (K201).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.core import Finding, LintModule, Rule, register
+
+_ENV_RE = re.compile(r"REPRO_[A-Z0-9_]+")
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = target.attr if isinstance(target, ast.Attribute) else getattr(target, "id", "")
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _field_names(node: ast.ClassDef) -> List[Tuple[str, ast.AnnAssign]]:
+    fields = []
+    for stmt in node.body:
+        if not isinstance(stmt, ast.AnnAssign) or not isinstance(stmt.target, ast.Name):
+            continue
+        if stmt.target.id.startswith("_"):
+            continue
+        annotation = ast.dump(stmt.annotation)
+        if "ClassVar" in annotation:
+            continue
+        fields.append((stmt.target.id, stmt))
+    return fields
+
+
+def _from_env(node: ast.ClassDef) -> Optional[ast.FunctionDef]:
+    for stmt in node.body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name == "from_env":
+            return stmt
+    return None
+
+
+def _constructor_keywords(cls: ast.ClassDef, fn: ast.FunctionDef) -> Set[str]:
+    keywords: Set[str] = set()
+    for call in ast.walk(fn):
+        if not isinstance(call, ast.Call):
+            continue
+        name = getattr(call.func, "id", None)
+        if name in ("cls", cls.name):
+            keywords.update(k.arg for k in call.keywords if k.arg is not None)
+    return keywords
+
+
+def _env_references(fn: ast.FunctionDef) -> Set[str]:
+    refs: Set[str] = set()
+    docstring = ast.get_docstring(fn) or ""
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            if node.value != docstring:
+                refs.update(_ENV_RE.findall(node.value))
+    return refs
+
+
+def _iter_env_dataclasses(
+    module: LintModule,
+) -> Iterator[Tuple[ast.ClassDef, ast.FunctionDef]]:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ClassDef) and _is_dataclass(node):
+            fn = _from_env(node)
+            if fn is not None:
+                yield node, fn
+
+
+@register
+class ConfigFieldUnwired(Rule):
+    id = "K101"
+    name = "config-field-unwired"
+    summary = "dataclass field missing from the from_env constructor call"
+
+    def check(self, module: LintModule) -> Iterable[Finding]:
+        for cls, fn in _iter_env_dataclasses(module):
+            wired = _constructor_keywords(cls, fn)
+            for name, stmt in _field_names(cls):
+                if name not in wired:
+                    yield module.finding(
+                        self,
+                        stmt,
+                        f"{cls.name}.{name} is not passed in from_env's "
+                        f"constructor call — a process configured via REPRO_* "
+                        "env vars silently loses this knob",
+                    )
+
+
+@register
+class ConfigEnvNameDrift(Rule):
+    id = "K102"
+    name = "config-env-name-drift"
+    summary = "dataclass field has no matching REPRO_<FIELD> read in from_env"
+
+    def check(self, module: LintModule) -> Iterable[Finding]:
+        for cls, fn in _iter_env_dataclasses(module):
+            refs = _env_references(fn)
+            for name, stmt in _field_names(cls):
+                expected = f"REPRO_{name.upper()}"
+                if expected not in refs:
+                    yield module.finding(
+                        self,
+                        stmt,
+                        f"{cls.name}.{name} expects the environment variable "
+                        f"{expected}, which from_env never reads",
+                    )
+
+
+@register
+class ConfigEnvDocDrift(Rule):
+    id = "K103"
+    name = "config-env-doc-drift"
+    summary = "REPRO_* vars read by from_env and its docstring list disagree"
+
+    def check(self, module: LintModule) -> Iterable[Finding]:
+        for _cls, fn in _iter_env_dataclasses(module):
+            refs = _env_references(fn)
+            documented = set(_ENV_RE.findall(ast.get_docstring(fn) or ""))
+            for env in sorted(refs - documented):
+                yield module.finding(
+                    self,
+                    fn,
+                    f"{env} is read by from_env but missing from its docstring's "
+                    "documented env-var list",
+                )
+            for env in sorted(documented - refs):
+                yield module.finding(
+                    self,
+                    fn,
+                    f"{env} is documented in the from_env docstring but never "
+                    "read — stale documentation",
+                )
+
+
+@register
+class PrecisionKeyUnguarded(Rule):
+    id = "K201"
+    name = "precision-key-unguarded"
+    summary = (
+        'key builders must add a "precision" entry only off the float64 tier, '
+        "or every pre-split float64 hash goes cold"
+    )
+
+    def _guarded(self, module: LintModule, node: ast.AST) -> bool:
+        for ancestor in module.ancestors(node):
+            if isinstance(ancestor, ast.If):
+                for sub in ast.walk(ancestor.test):
+                    if isinstance(sub, ast.Constant) and sub.value == "float64":
+                        return True
+        return False
+
+    def check(self, module: LintModule) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.slice, ast.Constant)
+                    and target.slice.value == "precision"
+                ):
+                    if not self._guarded(module, node):
+                        yield module.finding(
+                            self,
+                            node,
+                            'unconditional key["precision"] assignment: guard '
+                            'with `if precision != "float64"` so float64-tier '
+                            "hashes match the pre-precision-split artifacts",
+                        )

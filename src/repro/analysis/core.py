@@ -1,0 +1,206 @@
+"""Core linter primitives: findings, the rule registry, per-module context.
+
+``repro-lint`` is a contract linter, not a style linter: every rule encodes an
+invariant the repository's bit-identity / determinism story depends on (see
+ARCHITECTURE.md "Static contracts").  Rules are small classes registered in
+:data:`RULES`; each receives one parsed :class:`LintModule` and yields
+:class:`Finding` rows.  The engine (:mod:`repro.analysis.engine`) owns file
+walking, suppression comments and baselines, so rules stay purely syntactic.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Type
+
+#: pseudo-rule ids emitted by the engine rather than a registered rule
+PARSE_ERROR_RULE = "X001"
+SUPPRESSION_REASON_RULE = "S001"
+
+#: engine-level pseudo-rules, documented alongside the real registry
+PSEUDO_RULES: Dict[str, str] = {
+    PARSE_ERROR_RULE: "file does not parse as Python (reported, never suppressed)",
+    SUPPRESSION_REASON_RULE: (
+        "a `# repro-lint: disable=...` comment has no `-- reason`; every "
+        "suppression must say why the invariant does not apply"
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    #: stripped source text of the offending line (baseline fingerprints key
+    #: on this, so findings survive unrelated line-number drift)
+    line_text: str = ""
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
+
+
+class LintModule:
+    """One parsed source file plus the name-resolution context rules need.
+
+    ``relpath`` is the posix-style path the file was addressed by (relative to
+    the lint invocation), which is what path-scoped rules match against —
+    fixture tests lint in-memory sources under synthetic paths like
+    ``src/repro/nn/fixture.py`` to hit the same scoping.
+    """
+
+    def __init__(self, relpath: str, text: str, tree: ast.Module) -> None:
+        self.relpath = relpath.replace("\\", "/")
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = tree
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                child._repro_parent = parent  # type: ignore[attr-defined]
+        self.aliases = _import_aliases(tree)
+
+    # -- path scoping ---------------------------------------------------------
+    @property
+    def filename(self) -> str:
+        return self.relpath.rsplit("/", 1)[-1]
+
+    def within(self, prefix: str) -> bool:
+        """Whether this module lives under a package sub-path like ``repro/nn``."""
+        padded = "/" + self.relpath
+        return f"/{prefix}/" in padded or padded.endswith("/" + prefix)
+
+    def is_file(self, suffix: str) -> bool:
+        """Whether this module is exactly the file ``suffix`` names."""
+        return ("/" + self.relpath).endswith("/" + suffix)
+
+    # -- name resolution ------------------------------------------------------
+    def canonical(self, node: ast.AST) -> Optional[str]:
+        """Resolve a Name/Attribute chain to its canonical dotted import path.
+
+        ``np.random.seed`` resolves to ``numpy.random.seed`` under
+        ``import numpy as np``; names the imports don't explain resolve to
+        ``None`` (rules must not guess about locals).
+        """
+        if isinstance(node, ast.Name):
+            return self.aliases.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.canonical(node.value)
+            if base is None:
+                return None
+            return f"{base}.{node.attr}"
+        return None
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return getattr(node, "_repro_parent", None)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+    def statement_line(self, node: ast.AST) -> str:
+        line = getattr(node, "lineno", 0)
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(self, rule: "Rule", node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=rule.id,
+            path=self.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            line_text=self.statement_line(node),
+        )
+
+
+def _import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map every imported local name to its canonical dotted path."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.asname is not None:
+                    aliases[item.asname] = item.name
+                else:
+                    # ``import numpy.random`` binds the *root* name
+                    root = item.name.split(".", 1)[0]
+                    aliases[root] = root
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for item in node.names:
+                if item.name == "*":
+                    continue
+                local = item.asname or item.name
+                aliases[local] = f"{node.module}.{item.name}"
+    return aliases
+
+
+class Rule:
+    """Base class for one lint rule; subclasses register via :func:`register`."""
+
+    #: short stable id like ``D101`` — what suppressions and baselines name
+    id: str = ""
+    #: kebab-case slug for humans
+    name: str = ""
+    #: one-line description of the protected invariant
+    summary: str = ""
+
+    def check(self, module: LintModule) -> Iterable[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+
+RULES: Dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding one instance of the rule to the registry."""
+    rule = cls()
+    if not rule.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if rule.id in RULES:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    RULES[rule.id] = rule
+    return cls
+
+
+# -- suppression comments -----------------------------------------------------
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9]+(?:\s*,\s*[A-Za-z0-9]+)*)"
+    r"(?:\s+--\s*(\S.*))?"
+)
+
+
+@dataclass
+class Suppression:
+    """One ``# repro-lint: disable=...`` comment on one line."""
+
+    line: int
+    rules: Tuple[str, ...]
+    reason: Optional[str]
+    #: findings this suppression actually silenced (engine bookkeeping)
+    used: List[Finding] = field(default_factory=list)
+
+    def covers(self, finding: Finding) -> bool:
+        return finding.line == self.line and (
+            finding.rule in self.rules or "all" in self.rules
+        )
+
+
+def parse_suppressions(lines: List[str]) -> List[Suppression]:
+    suppressions = []
+    for number, line in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        rules = tuple(part.strip() for part in match.group(1).split(","))
+        suppressions.append(Suppression(line=number, rules=rules, reason=match.group(2)))
+    return suppressions

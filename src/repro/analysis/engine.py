@@ -1,0 +1,154 @@
+"""The lint engine: walk files, run rules, apply suppressions and baselines."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+# importing the rule modules populates the registry
+import repro.analysis.configsync  # noqa: F401
+import repro.analysis.determinism  # noqa: F401
+import repro.analysis.lockrules  # noqa: F401
+import repro.analysis.precision  # noqa: F401
+from repro.analysis.baseline import load_baseline, split_new
+from repro.analysis.core import (
+    PARSE_ERROR_RULE,
+    RULES,
+    SUPPRESSION_REASON_RULE,
+    Finding,
+    LintModule,
+    parse_suppressions,
+)
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run, after suppressions and baseline filtering."""
+
+    #: findings that fail the run (not suppressed, not baselined)
+    findings: List[Finding] = field(default_factory=list)
+    #: findings tolerated by the baseline file
+    baselined: List[Finding] = field(default_factory=list)
+    #: findings silenced by inline `# repro-lint: disable=...` comments
+    suppressed: List[Finding] = field(default_factory=list)
+    files: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def extend(self, other: "LintResult") -> None:
+        self.findings.extend(other.findings)
+        self.baselined.extend(other.baselined)
+        self.suppressed.extend(other.suppressed)
+        self.files += other.files
+
+
+def _selected_rules(
+    select: Optional[Sequence[str]], ignore: Optional[Sequence[str]]
+) -> List[str]:
+    ids = sorted(RULES)
+    if select:
+        wanted = {rule.upper() for rule in select}
+        ids = [rule for rule in ids if rule in wanted or rule[0] in wanted]
+    if ignore:
+        unwanted = {rule.upper() for rule in ignore}
+        ids = [rule for rule in ids if rule not in unwanted and rule[0] not in unwanted]
+    return ids
+
+
+def lint_source(
+    text: str,
+    relpath: str,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> LintResult:
+    """Lint one in-memory source file addressed as ``relpath``.
+
+    Path-scoped rules key off ``relpath`` (e.g. only ``repro/nn`` modules get
+    the P-series), which is what lets fixture tests exercise scoping without
+    touching the real tree.
+    """
+    result = LintResult(files=1)
+    try:
+        tree = ast.parse(text)
+    except SyntaxError as exc:
+        result.findings.append(
+            Finding(
+                rule=PARSE_ERROR_RULE,
+                path=relpath,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"file does not parse: {exc.msg}",
+            )
+        )
+        return result
+    module = LintModule(relpath, text, tree)
+    raw: List[Finding] = []
+    for rule_id in _selected_rules(select, ignore):
+        raw.extend(RULES[rule_id].check(module))
+    suppressions = parse_suppressions(module.lines)
+    for finding in sorted(raw, key=lambda f: (f.line, f.col, f.rule)):
+        covering = next((s for s in suppressions if s.covers(finding)), None)
+        if covering is not None:
+            covering.used.append(finding)
+            result.suppressed.append(finding)
+        else:
+            result.findings.append(finding)
+    # a suppression without a reason is itself a finding: the contract is
+    # "exempt with a why", never a bare mute
+    for suppression in suppressions:
+        if suppression.reason is None:
+            result.findings.append(
+                Finding(
+                    rule=SUPPRESSION_REASON_RULE,
+                    path=relpath,
+                    line=suppression.line,
+                    col=0,
+                    message=(
+                        "suppression has no reason; append `-- <why this line "
+                        "is exempt>`"
+                    ),
+                    line_text=module.lines[suppression.line - 1].strip(),
+                )
+            )
+    return result
+
+
+def iter_python_files(paths: Iterable[PathLike]) -> List[Path]:
+    files: List[Path] = []
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+def lint_paths(
+    paths: Sequence[PathLike],
+    baseline: Optional[PathLike] = None,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> LintResult:
+    """Lint files/directories, then subtract the baseline (if given)."""
+    result = LintResult()
+    cwd = Path.cwd()
+    for file_path in iter_python_files(paths):
+        try:
+            relpath = file_path.resolve().relative_to(cwd).as_posix()
+        except ValueError:
+            relpath = file_path.as_posix()
+        text = file_path.read_text(encoding="utf-8")
+        result.extend(lint_source(text, relpath, select=select, ignore=ignore))
+    if baseline is not None and Path(baseline).exists():
+        tolerated = load_baseline(baseline)
+        new, baselined = split_new(result.findings, tolerated)
+        result.findings = new
+        result.baselined.extend(baselined)
+    return result

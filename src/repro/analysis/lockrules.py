@@ -1,0 +1,261 @@
+"""L-series rules: advisory-lock and exception hygiene in ``repro/runtime``.
+
+The cross-process single-flight protocol (PR 5) only works if every
+:class:`~repro.runtime.locks.AdvisoryLock` is released on *every* exit path
+and every lock file lives under the store's ``.locks/`` directory, where
+maintenance and stats sweeps know to skip it.  Separately, ``runtime/`` code
+that swallows broad exceptions can turn a real fault (a loader bug, a
+corrupted artifact) into silent cache-miss behaviour; broad handlers must
+propagate — re-raise, stash for a deferred raise, or surface via a future.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List
+
+from repro.analysis.core import Finding, LintModule, Rule, register
+
+_BROAD_NAMES = {"Exception", "BaseException"}
+
+
+def _in_runtime(module: LintModule) -> bool:
+    return module.within("repro/runtime")
+
+
+def _lock_scope(module: LintModule) -> bool:
+    # locks.py implements the lock itself (its own acquire/release internals
+    # would trip the usage rules)
+    return not module.is_file("repro/runtime/locks.py")
+
+
+def _is_advisory_lock_call(module: LintModule, node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    dotted = module.canonical(node.func)
+    if dotted is not None:
+        return dotted.rsplit(".", 1)[-1] == "AdvisoryLock"
+    return getattr(node.func, "id", None) == "AdvisoryLock"
+
+
+def _functions(module: LintModule) -> Iterator[ast.AST]:
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+@register
+class LockAcquireUnguarded(Rule):
+    id = "L101"
+    name = "lock-acquire-unguarded"
+    summary = (
+        "AdvisoryLock.acquire() without a with-block or try/finally release "
+        "leaks the lock file on any exception"
+    )
+
+    def _released_in_finally(self, fn: ast.AST, name: str) -> bool:
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Try) or not node.finalbody:
+                continue
+            for final_stmt in node.finalbody:
+                for sub in ast.walk(final_stmt):
+                    if (
+                        isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr == "release"
+                        and isinstance(sub.func.value, ast.Name)
+                        and sub.func.value.id == name
+                    ):
+                        return True
+        return False
+
+    def check(self, module: LintModule) -> Iterable[Finding]:
+        if not _lock_scope(module):
+            return
+        for fn in _functions(module):
+            lock_names = set()
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Assign) and _is_advisory_lock_call(
+                    module, node.value
+                ):
+                    lock_names.update(
+                        t.id for t in node.targets if isinstance(t, ast.Name)
+                    )
+            for node in ast.walk(fn):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "acquire"
+                ):
+                    continue
+                value = node.func.value
+                direct = _is_advisory_lock_call(module, value)
+                named = isinstance(value, ast.Name) and value.id in lock_names
+                if not (direct or named):
+                    continue
+                if direct:
+                    yield module.finding(
+                        self,
+                        node,
+                        "AdvisoryLock(...).acquire() keeps no handle to release; "
+                        "use `with AdvisoryLock(...):`",
+                    )
+                    continue
+                if not self._released_in_finally(fn, value.id):
+                    yield module.finding(
+                        self,
+                        node,
+                        f"`{value.id}.acquire()` has no try/finally "
+                        f"`{value.id}.release()`; an exception strands the lock "
+                        "file until stale takeover — prefer `with "
+                        f"{value.id}:`",
+                    )
+
+
+@register
+class LockPathOutsideLocksDir(Rule):
+    id = "L102"
+    name = "lock-path-outside-locks"
+    summary = (
+        "lock files must live under the store's .locks/ directory (or come "
+        "from store.lock_path), where maintenance sweeps know to skip them"
+    )
+
+    def check(self, module: LintModule) -> Iterable[Finding]:
+        if not _lock_scope(module):
+            return
+        for node in ast.walk(module.tree):
+            if not _is_advisory_lock_call(module, node):
+                continue
+            if not node.args:
+                continue
+            path_arg = node.args[0]
+            sanctioned = False
+            saw_literal_fragment = False
+            for sub in ast.walk(path_arg):
+                if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute):
+                    if sub.func.attr in ("lock_path", "maintenance_lock"):
+                        sanctioned = True
+                terminal = (
+                    sub.attr
+                    if isinstance(sub, ast.Attribute)
+                    else getattr(sub, "id", None)
+                )
+                if terminal == "LOCKS_DIRNAME":
+                    sanctioned = True
+                if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                    if ".locks" in sub.value:
+                        sanctioned = True
+                    elif "/" in sub.value or sub.value.endswith(".lock"):
+                        saw_literal_fragment = True
+            if saw_literal_fragment and not sanctioned:
+                yield module.finding(
+                    self,
+                    node,
+                    "lock path is built outside `.locks/`; use "
+                    "`store.lock_path(...)` or a `LOCKS_DIRNAME` component so "
+                    "stats/GC sweeps never mistake it for an artifact",
+                )
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types: List[ast.expr]
+    if isinstance(handler.type, ast.Tuple):
+        types = list(handler.type.elts)
+    else:
+        types = [handler.type]
+    for node in types:
+        terminal = (
+            node.attr if isinstance(node, ast.Attribute) else getattr(node, "id", None)
+        )
+        if terminal in _BROAD_NAMES:
+            return True
+    return False
+
+
+def _is_silent(handler: ast.ExceptHandler) -> bool:
+    for stmt in handler.body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, (ast.Continue, ast.Break)):
+            continue
+        if (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis
+        ):
+            continue
+        return False
+    return True
+
+
+def _propagates(handler: ast.ExceptHandler) -> bool:
+    """Whether a handler re-raises, defers the exception, or hands it to a future."""
+    caught = handler.name
+    for stmt in handler.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Raise):
+                return True
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "set_exception"
+            ):
+                return True
+            if caught is not None and isinstance(node, ast.Assign):
+                for sub in ast.walk(node.value):
+                    if isinstance(sub, ast.Name) and sub.id == caught:
+                        return True
+    return False
+
+
+def _iter_broad_handlers(module: LintModule) -> Iterator[ast.ExceptHandler]:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ExceptHandler) and _is_broad(node):
+            yield node
+
+
+@register
+class SilentBroadExcept(Rule):
+    id = "L301"
+    name = "silent-broad-except"
+    summary = "`except Exception: pass` in runtime/ hides faults as cache behaviour"
+
+    def check(self, module: LintModule) -> Iterable[Finding]:
+        if not _in_runtime(module):
+            return
+        for handler in _iter_broad_handlers(module):
+            if _is_silent(handler):
+                yield module.finding(
+                    self,
+                    handler,
+                    "broad exception handler swallows everything silently; "
+                    "catch the concrete error types or propagate",
+                )
+
+
+@register
+class BroadExceptSwallow(Rule):
+    id = "L302"
+    name = "broad-except-swallow"
+    summary = (
+        "broad handlers in runtime/ must propagate (raise, deferred raise, or "
+        "future.set_exception); otherwise catch concrete error types"
+    )
+
+    def check(self, module: LintModule) -> Iterable[Finding]:
+        if not _in_runtime(module):
+            return
+        for handler in _iter_broad_handlers(module):
+            if _is_silent(handler):
+                continue  # L301's finding; don't double-report
+            if not _propagates(handler):
+                yield module.finding(
+                    self,
+                    handler,
+                    "broad exception handler neither re-raises nor surfaces the "
+                    "exception; narrow it to the concrete (OS/pickle/value) "
+                    "errors this path can legitimately absorb",
+                )

@@ -1,0 +1,195 @@
+"""P-series rules: the precision-tier dtype contract in ``repro/nn``.
+
+Since PR 6 the training stack runs in two tiers: float64 (the bit-identity
+reference) and float32 (the fast tier).  Under NumPy 2 promotion rules a
+single 0-d ``np.float64`` scalar — an ``np.sqrt(...)`` of a Python constant, a
+``dtype=np.float64`` scratch buffer, a stray ``astype`` — silently upcasts a
+whole float32 forward/backward path back to float64, costing the tier its
+memory-bandwidth win without failing any test.  That is exactly the GELU /
+attention bug class PR 6 had to fix by hand; these rules catch it at review
+time.
+
+The rules scan ``repro/nn`` except the modules whose *contract* is float64:
+``init.py`` and ``parameter.py`` (initialisation happens in float64 so RNG
+streams match the reference tier, then ``Module.astype`` casts),
+``module.py`` (the cast machinery itself) and ``serialization.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional
+
+from repro.analysis.core import Finding, LintModule, Rule, register
+
+#: nn modules exempt from the P-series: their job is the float64 reference path
+_EXEMPT_FILES = ("init.py", "parameter.py", "module.py", "serialization.py")
+
+#: numpy functions that return a 0-d float64 scalar for scalar input
+_SCALAR_MATH = {
+    "sqrt",
+    "exp",
+    "log",
+    "log2",
+    "log10",
+    "tanh",
+    "sin",
+    "cos",
+    "arctan",
+    "power",
+    "float_power",
+    "hypot",
+}
+
+#: numpy module-level float constants (plain Python floats, but commonly used
+#: inside scalar-math calls — they keep an expression "constant-ish")
+_NUMPY_CONSTANTS = {"numpy.pi", "numpy.e", "numpy.euler_gamma", "numpy.inf"}
+
+#: allocation calls whose ``dtype=`` keyword pins the result dtype
+_ALLOCATORS = {
+    "numpy.zeros",
+    "numpy.ones",
+    "numpy.empty",
+    "numpy.full",
+    "numpy.asarray",
+    "numpy.array",
+    "numpy.ascontiguousarray",
+    "numpy.arange",
+    "numpy.linspace",
+    "numpy.zeros_like",
+    "numpy.ones_like",
+    "numpy.empty_like",
+    "numpy.full_like",
+}
+
+
+def _in_scope(module: LintModule) -> bool:
+    return module.within("repro/nn") and module.filename not in _EXEMPT_FILES
+
+
+def _iter_calls(module: LintModule) -> Iterator[ast.Call]:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def _constantish(module: LintModule, node: ast.AST) -> bool:
+    """Whether an expression is a compile-time numeric constant."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, (int, float))
+    if isinstance(node, ast.BinOp):
+        return _constantish(module, node.left) and _constantish(module, node.right)
+    if isinstance(node, ast.UnaryOp):
+        return _constantish(module, node.operand)
+    return module.canonical(node) in _NUMPY_CONSTANTS
+
+
+def _dtype_keyword(call: ast.Call) -> Optional[ast.expr]:
+    for keyword in call.keywords:
+        if keyword.arg == "dtype":
+            return keyword.value
+    return None
+
+
+@register
+class NumpyScalarConstant(Rule):
+    id = "P101"
+    name = "numpy-scalar-constant"
+    summary = (
+        "np scalar-math on constants yields a 0-d float64 that upcasts "
+        "float32 activations under NumPy-2 promotion; wrap in float(...)"
+    )
+
+    def check(self, module: LintModule) -> Iterable[Finding]:
+        if not _in_scope(module):
+            return
+        for call in _iter_calls(module):
+            dotted = module.canonical(call.func)
+            if dotted is None or not dotted.startswith("numpy."):
+                continue
+            terminal = dotted.rsplit(".", 1)[-1]
+            if terminal not in _SCALAR_MATH or not call.args:
+                continue
+            if not all(_constantish(module, arg) for arg in call.args):
+                continue
+            parent = module.parent(call)
+            if (
+                isinstance(parent, ast.Call)
+                and isinstance(parent.func, ast.Name)
+                and parent.func.id == "float"
+            ):
+                continue  # float(np.sqrt(...)) is the sanctioned spelling
+            yield module.finding(
+                self,
+                call,
+                f"`np.{terminal}` of a constant is a 0-d np.float64 scalar that "
+                "upcasts float32 arrays (the PR 6 GELU/attention bug); wrap the "
+                "call in float(...) or use math." + terminal,
+            )
+
+
+@register
+class Float64ScalarCall(Rule):
+    id = "P102"
+    name = "float64-scalar-call"
+    summary = "`np.float64(...)` scalars upcast the float32 tier; use Python floats"
+
+    def check(self, module: LintModule) -> Iterable[Finding]:
+        if not _in_scope(module):
+            return
+        for call in _iter_calls(module):
+            if module.canonical(call.func) == "numpy.float64":
+                yield module.finding(
+                    self,
+                    call,
+                    "`np.float64(...)` builds a 0-d scalar that upcasts float32 "
+                    "operands; use a plain Python float (weak promotion) or the "
+                    "parameter dtype",
+                )
+
+
+@register
+class Float64ScratchAlloc(Rule):
+    id = "P103"
+    name = "float64-scratch-alloc"
+    summary = (
+        "scratch allocations in nn forward/backward paths must follow the "
+        "parameter/input dtype, not pin np.float64"
+    )
+
+    def check(self, module: LintModule) -> Iterable[Finding]:
+        if not _in_scope(module):
+            return
+        for call in _iter_calls(module):
+            if module.canonical(call.func) not in _ALLOCATORS:
+                continue
+            dtype = _dtype_keyword(call)
+            if dtype is not None and module.canonical(dtype) == "numpy.float64":
+                yield module.finding(
+                    self,
+                    call,
+                    "allocation pins dtype=np.float64; derive the dtype from the "
+                    "input/parameter (e.g. `x.dtype`) so the float32 tier is not "
+                    "upcast",
+                )
+
+
+@register
+class AstypeFloat64(Rule):
+    id = "P104"
+    name = "astype-float64"
+    summary = "`.astype(np.float64)` in nn forward/backward paths upcasts the fast tier"
+
+    def check(self, module: LintModule) -> Iterable[Finding]:
+        if not _in_scope(module):
+            return
+        for call in _iter_calls(module):
+            if not (isinstance(call.func, ast.Attribute) and call.func.attr == "astype"):
+                continue
+            if call.args and module.canonical(call.args[0]) == "numpy.float64":
+                yield module.finding(
+                    self,
+                    call,
+                    "`.astype(np.float64)` hard-casts out of the float32 tier; "
+                    "cast to the surrounding parameter dtype instead",
+                )

@@ -1,0 +1,58 @@
+"""Human and JSON rendering of a :class:`~repro.analysis.engine.LintResult`."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.analysis.core import PSEUDO_RULES, RULES, Finding
+from repro.analysis.engine import LintResult
+
+
+def _finding_dict(finding: Finding) -> Dict[str, Any]:
+    return {
+        "rule": finding.rule,
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col + 1,
+        "message": finding.message,
+        "line_text": finding.line_text,
+    }
+
+
+def render_json(result: LintResult) -> str:
+    payload = {
+        "ok": result.ok,
+        "files": result.files,
+        "findings": [_finding_dict(f) for f in result.findings],
+        "baselined": [_finding_dict(f) for f in result.baselined],
+        "suppressed": [_finding_dict(f) for f in result.suppressed],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_text(result: LintResult) -> str:
+    lines: List[str] = []
+    for finding in result.findings:
+        lines.append(finding.render())
+        if finding.line_text:
+            lines.append(f"    {finding.line_text}")
+    summary = (
+        f"{len(result.findings)} finding(s) in {result.files} file(s)"
+        f" ({len(result.suppressed)} suppressed, {len(result.baselined)} baselined)"
+    )
+    lines.append(summary if result.findings else f"clean: {summary}")
+    return "\n".join(lines)
+
+
+def render_rule_list() -> str:
+    lines = ["repro-lint rules:", ""]
+    for rule_id in sorted(RULES):
+        rule = RULES[rule_id]
+        lines.append(f"  {rule.id}  {rule.name}")
+        lines.append(f"        {rule.summary}")
+    lines.append("")
+    lines.append("engine pseudo-rules:")
+    for rule_id in sorted(PSEUDO_RULES):
+        lines.append(f"  {rule_id}  {PSEUDO_RULES[rule_id]}")
+    return "\n".join(lines)

@@ -8,7 +8,6 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-import numpy as np
 
 from repro.config import ExperimentProfile
 from repro.eval.harness import bprom_detection_auroc, get_context

@@ -7,21 +7,27 @@ from typing import Tuple
 import numpy as np
 
 
-def _as_float(x: np.ndarray) -> np.ndarray:
+def as_float(x: np.ndarray) -> np.ndarray:
     """Coerce to a floating dtype, preserving float32 (the low-precision tier).
 
     Non-float inputs (int arrays, lists) promote to float64 exactly as the old
-    hard cast did, so every pre-existing caller sees unchanged results.
+    hard cast did, so every pre-existing caller sees unchanged results.  This
+    is the sanctioned coercion point for forward-path entries: everything else
+    in ``repro/nn`` must follow the dtype this hands it.
     """
     x = np.asarray(x)
     if x.dtype == np.float32:
         return x
-    return np.asarray(x, dtype=np.float64)
+    return np.asarray(x, dtype=np.float64)  # repro-lint: disable=P103 -- the reference-tier coercion point itself: non-float32 input promotes to float64 by contract
+
+
+#: backwards-compatible private alias (pre-dates the public spelling)
+_as_float = as_float
 
 
 def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
     """Numerically stable softmax along ``axis`` (dtype-preserving for floats)."""
-    logits = _as_float(logits)
+    logits = as_float(logits)
     shifted = logits - np.max(logits, axis=axis, keepdims=True)
     exp = np.exp(shifted)
     return exp / np.sum(exp, axis=axis, keepdims=True)
@@ -29,7 +35,7 @@ def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
 
 def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
     """Numerically stable log-softmax along ``axis`` (dtype-preserving for floats)."""
-    logits = _as_float(logits)
+    logits = as_float(logits)
     shifted = logits - np.max(logits, axis=axis, keepdims=True)
     return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
 
@@ -48,7 +54,7 @@ def one_hot(labels: np.ndarray, num_classes: int, dtype=np.float64) -> np.ndarra
 
 def sigmoid(x: np.ndarray) -> np.ndarray:
     """Numerically stable logistic function (dtype-preserving for floats)."""
-    x = _as_float(x)
+    x = as_float(x)
     out = np.empty_like(x)
     pos = x >= 0
     out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.functional import log_softmax, one_hot, softmax
+from repro.nn.functional import as_float, log_softmax, one_hot, softmax
 
 
 class CrossEntropyLoss:
@@ -47,8 +47,10 @@ class MSELoss:
     """Mean squared error between predictions and targets."""
 
     def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
-        predictions = np.asarray(predictions, dtype=np.float64)
-        targets = np.asarray(targets, dtype=np.float64)
+        # dtype-preserving coercion: a float32-tier caller gets float32
+        # gradients back instead of a silent float64 upcast
+        predictions = as_float(predictions)
+        targets = as_float(targets)
         if predictions.shape != targets.shape:
             raise ValueError(
                 f"shape mismatch: predictions {predictions.shape} vs targets {targets.shape}"

@@ -48,7 +48,9 @@ class ExecutorSession:
             future.set_result(fn(*args))
         except Exception as exc:  # surfaced via future.result(), like a pool;
             # KeyboardInterrupt/SystemExit propagate — a real pool's caller
-            # would see those too, never a worker
+            # would see those too, never a worker.  The broad catch is the
+            # contract here (any task exception must reach the future), which
+            # repro-lint L302 recognises by the set_exception call below
             future.set_exception(exc)
         return future
 

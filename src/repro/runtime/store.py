@@ -14,9 +14,11 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import pickle
 import shutil
 import uuid
 import warnings
+import zipfile
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional, Union
@@ -100,6 +102,19 @@ _MANIFEST = "artifact"  # artifact.json, written into the temp dir before rename
 #: per-root directory holding advisory lock files; dot-prefixed so artifact
 #: iteration (stats, maintenance) never mistakes it for an artifact kind
 LOCKS_DIRNAME = ".locks"
+
+#: what a loader may raise on a genuinely corrupt artifact (truncated blob,
+#: invalid npz/JSON, missing member): these — and only these — are treated as
+#: a cache miss and rebuilt.  Anything else (TypeError, AttributeError, ...)
+#: is a loader bug and propagates instead of masquerading as corruption.
+CORRUPT_ARTIFACT_ERRORS = (
+    OSError,
+    ValueError,  # covers json.JSONDecodeError
+    KeyError,
+    EOFError,
+    zipfile.BadZipFile,
+    pickle.UnpicklingError,
+)
 
 #: sentinel distinguishing "no artifact" from an artifact whose value is None;
 #: returning ``None`` for a miss would make a legitimately-``None`` artefact
@@ -212,14 +227,16 @@ class ArtifactStore:
         under an intact manifest) is discarded and reported as a miss: the
         caller rebuilds instead of crashing on a half-present directory.
         Every lookup counts exactly one hit or one miss, corrupt path
-        included.
+        included.  Only the concrete I/O / decode errors in
+        :data:`CORRUPT_ARTIFACT_ERRORS` are treated as corruption; a bug in
+        the ``load`` callback itself propagates to the caller.
         """
         if not self.contains(kind, key):
             self.misses += 1
             return _MISS
         try:
             value = load(self.open_read(kind, key))
-        except Exception as exc:
+        except CORRUPT_ARTIFACT_ERRORS as exc:
             warnings.warn(
                 f"discarding corrupt {kind!r} artifact {key_hash(key)}: {exc!r}; rebuilding"
             )

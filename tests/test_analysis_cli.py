@@ -1,0 +1,193 @@
+"""Engine/CLI tests: suppressions, baselines, output formats, and the
+regression guarantee that the real tree lints clean."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from repro.analysis import fingerprint, lint_paths, lint_source, load_baseline, write_baseline
+from repro.analysis.__main__ import main
+from repro.analysis.baseline import split_new
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+BAD_SOURCE = textwrap.dedent(
+    """
+    import numpy as np
+    x = np.random.rand(3)
+    """
+)
+
+
+# -- suppressions -------------------------------------------------------------
+
+
+def test_suppression_with_reason_silences_finding():
+    source = textwrap.dedent(
+        """
+        import numpy as np
+        x = np.random.rand(3)  # repro-lint: disable=D101 -- fixture exercising legacy path
+        """
+    )
+    result = lint_source(source, "src/repro/core/fixture.py")
+    assert result.ok
+    assert [f.rule for f in result.suppressed] == ["D101"]
+
+
+def test_suppression_without_reason_is_itself_a_finding():
+    source = textwrap.dedent(
+        """
+        import numpy as np
+        x = np.random.rand(3)  # repro-lint: disable=D101
+        """
+    )
+    result = lint_source(source, "src/repro/core/fixture.py")
+    # the D101 is silenced, but the bare mute is reported
+    assert [f.rule for f in result.findings] == ["S001"]
+    assert [f.rule for f in result.suppressed] == ["D101"]
+
+
+def test_suppression_only_covers_named_rules():
+    source = textwrap.dedent(
+        """
+        import numpy as np
+        x = np.random.rand(3)  # repro-lint: disable=D105 -- wrong rule named
+        """
+    )
+    result = lint_source(source, "src/repro/core/fixture.py")
+    assert [f.rule for f in result.findings] == ["D101"]
+
+
+def test_suppression_disable_all():
+    source = textwrap.dedent(
+        """
+        import numpy as np
+        x = np.random.rand(3)  # repro-lint: disable=all -- fixture
+        """
+    )
+    result = lint_source(source, "src/repro/core/fixture.py")
+    assert result.ok
+
+
+def test_parse_error_reported():
+    result = lint_source("def broken(:\n", "src/repro/core/fixture.py")
+    assert [f.rule for f in result.findings] == ["X001"]
+
+
+# -- baseline round-trip ------------------------------------------------------
+
+
+def test_baseline_round_trip(tmp_path):
+    result = lint_source(BAD_SOURCE, "src/repro/core/fixture.py")
+    assert not result.ok
+
+    baseline_file = tmp_path / "baseline.json"
+    write_baseline(baseline_file, result.findings)
+    tolerated = load_baseline(baseline_file)
+    assert sum(tolerated.values()) == len(result.findings)
+
+    new, baselined = split_new(result.findings, tolerated)
+    assert new == []
+    assert len(baselined) == len(result.findings)
+
+
+def test_baseline_fingerprint_survives_line_drift():
+    before = lint_source(BAD_SOURCE, "src/repro/core/fixture.py")
+    shifted = "# a new comment line\n" + BAD_SOURCE
+    after = lint_source(shifted, "src/repro/core/fixture.py")
+    assert fingerprint(before.findings[0]) == fingerprint(after.findings[0])
+
+
+def test_baseline_does_not_cover_new_findings(tmp_path):
+    result = lint_source(BAD_SOURCE, "src/repro/core/fixture.py")
+    baseline_file = tmp_path / "baseline.json"
+    write_baseline(baseline_file, result.findings)
+
+    grown = BAD_SOURCE + "y = np.random.randn(2)\n"
+    regrown = lint_source(grown, "src/repro/core/fixture.py")
+    new, baselined = split_new(regrown.findings, load_baseline(baseline_file))
+    assert len(baselined) == 1
+    assert len(new) == 1 and "randn" in new[0].line_text
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def _write_fixture_tree(tmp_path: Path, source: str) -> Path:
+    module = tmp_path / "src" / "repro" / "core" / "fixture.py"
+    module.parent.mkdir(parents=True)
+    module.write_text(source)
+    return module
+
+
+def test_cli_exit_codes(tmp_path, capsys, monkeypatch):
+    module = _write_fixture_tree(tmp_path, BAD_SOURCE)
+    monkeypatch.chdir(tmp_path)
+
+    assert main([str(module)]) == 1
+    assert "D101" in capsys.readouterr().out
+
+    module.write_text("x = 1\n")
+    assert main([str(module)]) == 0
+
+
+def test_cli_baseline_flow(tmp_path, capsys, monkeypatch):
+    module = _write_fixture_tree(tmp_path, BAD_SOURCE)
+    monkeypatch.chdir(tmp_path)
+    baseline = tmp_path / "baseline.json"
+
+    assert main([str(module), "--write-baseline", str(baseline)]) == 0
+    capsys.readouterr()
+    assert main([str(module), "--baseline", str(baseline)]) == 0
+    assert "baselined" in capsys.readouterr().out
+
+
+def test_cli_json_format(tmp_path, capsys, monkeypatch):
+    module = _write_fixture_tree(tmp_path, BAD_SOURCE)
+    monkeypatch.chdir(tmp_path)
+    assert main([str(module), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    assert payload["findings"][0]["rule"] == "D101"
+
+
+def test_cli_select_and_ignore(tmp_path, capsys, monkeypatch):
+    module = _write_fixture_tree(tmp_path, BAD_SOURCE)
+    monkeypatch.chdir(tmp_path)
+    assert main([str(module), "--select", "P"]) == 0
+    capsys.readouterr()
+    assert main([str(module), "--ignore", "D101"]) == 0
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("D101", "P103", "K201", "L302", "S001", "X001"):
+        assert rule_id in out
+
+
+# -- the regression guarantee -------------------------------------------------
+
+
+def test_src_tree_lints_clean():
+    """`python -m repro.analysis src/` must stay clean with no baseline."""
+    result = lint_paths([REPO_ROOT / "src"])
+    assert result.files > 100
+    rendered = "\n".join(f.render() for f in result.findings)
+    assert result.ok, f"repro-lint findings in src/:\n{rendered}"
+
+
+def test_module_entry_point_runs_clean():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "src"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "clean" in proc.stdout

@@ -15,7 +15,7 @@ from repro.datasets import (
     resize_batch,
     to_grayscale,
 )
-from repro.datasets.registry import DATASET_SPECS, build_distribution, get_spec
+from repro.datasets.registry import build_distribution, get_spec
 from repro.datasets.synthetic import SyntheticStyle
 from repro.datasets.transforms import pad_to, random_horizontal_flip, random_shift
 
