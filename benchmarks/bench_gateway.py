@@ -9,33 +9,45 @@ a mixed vendor catalogue, then screens it twice:
   second tenant waits for the first;
 * **gateway** — one ``AuditGateway.stream`` over the interleaved submissions:
   routing by architecture family, shared in-flight budget, merged
-  completion-ordered verdicts.
+  completion-ordered verdicts;
+* **verdict cache** — a zipf-distributed redundant fleet workload (production
+  audit traffic resubmits the same popular models over and over) screened
+  twice: through an uncached gateway (every submission pays the full
+  inspection) and through a cache-enabled gateway (warm submissions are
+  served from the fingerprint-keyed verdict cache for free).  Reports the
+  cache hit-rate, the amortised queries-per-verdict and the warm-vs-cold
+  verdicts/s speedup.
 
 Correctness is asserted on every run — gateway verdicts must match the
-per-tenant baseline to <= 1e-9 with identical labels — so the benchmark
-doubles as the acceptance check for the gateway's equivalence property.
-Results are written as machine-readable JSON so the perf trajectory can be
-tracked across commits.
+per-tenant baseline to <= 1e-9 with identical labels, and cached verdicts
+must match the uncached path exactly — so the benchmark doubles as the
+acceptance check for the gateway's equivalence property.  Results are
+written as machine-readable JSON so the perf trajectory can be tracked
+across commits.
 
 Run with:  PYTHONPATH=src python benchmarks/bench_gateway.py \
                [--profile tiny|fast|bench] [--arch-a mlp] [--arch-b resnet18] \
                [--models 4] [--workers 2] [--max-in-flight 4] \
+               [--zipf-submissions 48] [--zipf-exponent 1.1] \
                [--json BENCH_gateway.json]
 """
 
 from __future__ import annotations
 
 import argparse
+import copy
 import json
 import os
 import tempfile
 import time
 from pathlib import Path
 
+import numpy as np
+
 from repro.config import RuntimeConfig, get_profile
 from repro.datasets.registry import load_dataset
 from repro.models.registry import build_classifier
-from repro.runtime import AuditGateway, AuditService, DetectorRegistry
+from repro.runtime import AuditGateway, AuditService, DetectorRegistry, VerdictCache
 from repro.runtime.registry import DetectorSpec
 
 
@@ -52,6 +64,15 @@ def build_catalogue(profile, architecture, train, count, seed):
     return catalogue
 
 
+def zipf_draws(names, count, exponent, seed):
+    """A redundant fleet workload: ``count`` submissions, popularity ~ 1/rank^s."""
+    ranks = np.arange(1, len(names) + 1, dtype=np.float64)
+    probabilities = ranks ** -float(exponent)
+    probabilities /= probabilities.sum()
+    rng = np.random.default_rng(seed)
+    return [names[i] for i in rng.choice(len(names), size=count, p=probabilities)]
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--profile", default="tiny", help="experiment profile preset")
@@ -62,6 +83,14 @@ def main() -> None:
     parser.add_argument("--backend", default="thread", choices=("thread", "process"))
     parser.add_argument("--max-in-flight", type=int, default=None)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--zipf-submissions", type=int, default=None,
+        help="redundant-workload length (default: 8x the distinct catalogue)",
+    )
+    parser.add_argument(
+        "--zipf-exponent", type=float, default=1.1,
+        help="zipf popularity exponent for the redundant workload",
+    )
     parser.add_argument(
         "--cache-dir", default=None,
         help="registry store root (default: a fresh temp dir, i.e. a cold fit)",
@@ -145,6 +174,84 @@ def main() -> None:
         assert verdict.name in by_tenant[verdict.tenant], verdict.name
     print(f"  gateway verdicts match per-tenant audits (max deviation {max_deviation:.2e})")
 
+    merged = {**catalogue_a, **catalogue_b}
+    submission_count = args.zipf_submissions
+    if submission_count is None:
+        submission_count = 8 * len(merged)
+    draws = zipf_draws(sorted(merged), submission_count, args.zipf_exponent, args.seed)
+    distinct = len(set(draws))
+    print(
+        f"redundant fleet workload: {submission_count} zipf submissions "
+        f"(s={args.zipf_exponent}) over {distinct} distinct models"
+    )
+
+    def uploads():
+        # every submission is its own upload: a fresh copy of the weights, as
+        # a fleet of independent vendors would produce (and model forward
+        # passes are not safe to share across concurrent inspections);
+        # materialised outside the timed region — upload ingestion is not the
+        # serving path under measurement
+        return [(name, copy.deepcopy(merged[name])) for name in draws]
+
+    print("  uncached gateway (every submission pays the full inspection):")
+    with AuditGateway(registry=registry, max_in_flight=args.max_in_flight) as uncached:
+        uncached.register_tenant("tenant-a", spec_a, test_a, target_train, target_test)
+        uncached.register_tenant("tenant-b", spec_b, test_b, target_train, target_test)
+        workload = uploads()
+        start = time.perf_counter()
+        uncached_verdicts = list(uncached.stream(workload))
+        uncached_zipf_s = time.perf_counter() - start
+        uncached_queries = sum(
+            t["query_count"] for t in uncached.stats()["tenants"].values()
+        )
+    # repeated submissions of one key are deterministic, so the first
+    # occurrence is the reference every cached serving must match exactly
+    reference = {}
+    for verdict in uncached_verdicts:
+        reference.setdefault(verdict.name, verdict)
+    print(
+        f"    total {uncached_zipf_s:8.2f}s "
+        f"({submission_count / max(uncached_zipf_s, 1e-9):.2f} verdicts/s, "
+        f"{uncached_queries} queries)"
+    )
+
+    print("  cached gateway (fingerprint-keyed verdict memoisation):")
+    cache = VerdictCache(store=registry.store, runtime=runtime)
+    with AuditGateway(
+        registry=registry, max_in_flight=args.max_in_flight, verdict_cache=cache
+    ) as cached:
+        cached.register_tenant("tenant-a", spec_a, test_a, target_train, target_test)
+        cached.register_tenant("tenant-b", spec_b, test_b, target_train, target_test)
+        workload = uploads()
+        start = time.perf_counter()
+        cached_verdicts = list(cached.stream(workload))
+        cached_zipf_s = time.perf_counter() - start
+        cached_stats = cached.stats()
+    cache_stats = cached_stats["verdict_cache"]
+    cached_queries = sum(
+        t["query_count"] for t in cached_stats["tenants"].values()
+    )
+    warm_deviation = 0.0
+    assert len(cached_verdicts) == submission_count
+    for verdict in cached_verdicts:
+        expected_verdict = reference[verdict.name]
+        deviation = abs(verdict.backdoor_score - expected_verdict.backdoor_score)
+        warm_deviation = max(warm_deviation, deviation)
+        assert deviation <= 1e-9, (verdict.name, deviation)
+        assert verdict.is_backdoored == expected_verdict.is_backdoored, verdict.name
+    cache_hit_rate = cache_stats["hit_rate"]
+    cache_speedup = uncached_zipf_s / max(cached_zipf_s, 1e-9)
+    print(
+        f"    total {cached_zipf_s:8.2f}s "
+        f"({submission_count / max(cached_zipf_s, 1e-9):.2f} verdicts/s, "
+        f"{cached_queries} queries, hit-rate {cache_hit_rate:.3f}, "
+        f"{cache_stats['inspections']} inspections)"
+    )
+    print(
+        f"    cached verdicts match the uncached path "
+        f"(max deviation {warm_deviation:.2e}); cache speedup {cache_speedup:.2f}x"
+    )
+
     total_models = 2 * args.models
     results = {
         "benchmark": "gateway",
@@ -166,6 +273,20 @@ def main() -> None:
         "gateway_verdicts_per_second": total_models / max(gateway_total_s, 1e-9),
         "max_score_deviation": max_deviation,
         "verdicts_match": True,
+        "zipf_submissions": submission_count,
+        "zipf_exponent": args.zipf_exponent,
+        "zipf_distinct_models": distinct,
+        "cache_hit_rate": cache_hit_rate,
+        "cache_inspections": cache_stats["inspections"],
+        "cache_dedup_hits": cache_stats["dedup_hits"],
+        "uncached_queries": uncached_queries,
+        "cached_queries": cached_queries,
+        "uncached_amortized_queries_per_verdict": uncached_queries / submission_count,
+        "cached_amortized_queries_per_verdict": cached_queries / submission_count,
+        "uncached_zipf_verdicts_per_second": submission_count / max(uncached_zipf_s, 1e-9),
+        "cached_zipf_verdicts_per_second": submission_count / max(cached_zipf_s, 1e-9),
+        "cache_speedup": cache_speedup,
+        "max_warm_score_deviation": warm_deviation,
     }
     with open(args.json, "w") as handle:
         json.dump(results, handle, indent=2, sort_keys=True)
@@ -173,6 +294,12 @@ def main() -> None:
         f"time-to-first-verdict speedup {results['first_verdict_speedup']:.2f}x, "
         f"{results['baseline_verdicts_per_second']:.2f} -> "
         f"{results['gateway_verdicts_per_second']:.2f} verdicts/s; "
+        f"verdict cache: hit-rate {cache_hit_rate:.3f}, "
+        f"{results['uncached_zipf_verdicts_per_second']:.2f} -> "
+        f"{results['cached_zipf_verdicts_per_second']:.2f} verdicts/s "
+        f"({cache_speedup:.2f}x), "
+        f"{results['uncached_amortized_queries_per_verdict']:.1f} -> "
+        f"{results['cached_amortized_queries_per_verdict']:.1f} queries/verdict; "
         f"results written to {args.json}"
     )
     if scratch is not None:

@@ -8,7 +8,10 @@ Two contracts:
   (K101/K102/K103);
 * artifact/registry key builders only add a ``"precision"`` entry *off* the
   float64 reference tier, so every hash minted before the precision split
-  stays warm while the tiers can never share an artifact (K201).
+  stays warm while the tiers can never share an artifact (K201);
+* verdict-cache key builders always carry the detector digest and the
+  precision tier, so a detector refit (or a precision switch) can never serve
+  another detector's memoised verdict (K202).
 """
 
 from __future__ import annotations
@@ -184,3 +187,60 @@ class PrecisionKeyUnguarded(Rule):
                             'with `if precision != "float64"` so float64-tier '
                             "hashes match the pre-precision-split artifacts",
                         )
+
+
+_VERDICT_KEY_FN_RE = re.compile(r"(verdict.*key|key.*verdict)", re.IGNORECASE)
+
+#: coordinates every verdict-cache key must carry: the fitted detector's
+#: digest (a refit must invalidate its verdicts) and the precision tier
+#: (float32 and float64 deployments must never share an entry)
+_VERDICT_KEY_REQUIRED = ("detector_digest", "precision")
+
+
+@register
+class VerdictKeyMissingCoordinate(Rule):
+    id = "K202"
+    name = "verdict-key-missing-coordinate"
+    summary = (
+        "verdict-cache key builders must include the detector digest and the "
+        "precision tier, or refits/precision switches serve stale verdicts"
+    )
+
+    @staticmethod
+    def _string_keys(fn: ast.AST) -> Set[str]:
+        """String keys a function puts into key payloads: dict-literal keys
+        plus constant-subscript assignment targets."""
+        keys: Set[str] = set()
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Dict):
+                for key in node.keys:
+                    if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                        keys.add(key.value)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.slice, ast.Constant)
+                        and isinstance(target.slice.value, str)
+                    ):
+                        keys.add(target.slice.value)
+        return keys
+
+    def check(self, module: LintModule) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _VERDICT_KEY_FN_RE.search(node.name):
+                continue
+            keys = self._string_keys(node)
+            if not keys:
+                continue  # no key payload built here (e.g. a lookup helper)
+            for required in _VERDICT_KEY_REQUIRED:
+                if required not in keys:
+                    yield module.finding(
+                        self,
+                        node,
+                        f"verdict-cache key builder {node.name!r} never sets "
+                        f"{required!r}: a cached verdict could outlive its "
+                        "detector fit or leak across precision tiers",
+                    )

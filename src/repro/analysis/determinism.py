@@ -41,8 +41,13 @@ _WALL_CLOCK = {
     "datetime.date.today",
 }
 
-#: modules whose job *is* wall-clock arithmetic (lock staleness, GC grace)
-_WALL_CLOCK_ALLOWLIST = ("repro/runtime/locks.py", "repro/runtime/sharding.py")
+#: modules whose job *is* wall-clock arithmetic (lock staleness, GC grace,
+#: verdict TTLs)
+_WALL_CLOCK_ALLOWLIST = (
+    "repro/runtime/locks.py",
+    "repro/runtime/sharding.py",
+    "repro/runtime/verdict_cache.py",
+)
 
 #: calls returning filesystem entries in arbitrary (kernel-dependent) order
 _FS_LISTING_FUNCTIONS = {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
@@ -149,7 +154,8 @@ class WallClockInComputation(Rule):
                     self,
                     call,
                     f"`{dotted}` feeds the current time into this module; only "
-                    "runtime/locks.py and runtime/sharding.py may do wall-clock "
+                    "runtime/locks.py, runtime/sharding.py and "
+                    "runtime/verdict_cache.py may do wall-clock "
                     "arithmetic (use `time.perf_counter` for durations)",
                 )
 

@@ -223,7 +223,7 @@ def _env_int(name: str, default: Optional[int]) -> Optional[int]:
         raise ValueError(f"{name} must be an integer, got {raw!r}") from exc
 
 
-def _env_float(name: str, default: float) -> float:
+def _env_float(name: str, default: Optional[float]) -> Optional[float]:
     """A float environment variable; unset/empty yields ``default``."""
     raw = os.environ.get(name)
     if raw is None or raw == "":
@@ -323,6 +323,18 @@ class RuntimeConfig:
     #: "float32"); every artifact-store key derived from a non-default tier
     #: carries the precision, so the tiers never share cache entries
     precision: str = "float64"
+    #: memoise audit verdicts by (model fingerprint, detector digest,
+    #: precision) in a :class:`~repro.runtime.verdict_cache.VerdictCache`;
+    #: off by default — a warm entry silently skips re-inspection, which
+    #: callers probing per-submission behaviour must opt in to
+    verdict_cache: bool = False
+    #: byte budget for the verdict cache's in-memory weighted-LRU tier;
+    #: ``None`` means unbounded (the just-inserted entry is always retained)
+    verdict_cache_bytes: Optional[int] = None
+    #: age in seconds after which a cached verdict is stale and re-audited;
+    #: ``None`` means verdicts never expire (detector refits still
+    #: invalidate, because the refit changes the detector digest in the key)
+    verdict_cache_ttl: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -370,6 +382,14 @@ class RuntimeConfig:
             raise ValueError(
                 f"precision must be one of {PRECISIONS}, got {self.precision!r}"
             )
+        if self.verdict_cache_bytes is not None and self.verdict_cache_bytes < 0:
+            raise ValueError(
+                f"verdict_cache_bytes must be >= 0, got {self.verdict_cache_bytes}"
+            )
+        if self.verdict_cache_ttl is not None and self.verdict_cache_ttl <= 0:
+            raise ValueError(
+                f"verdict_cache_ttl must be positive, got {self.verdict_cache_ttl}"
+            )
 
     @property
     def parallel(self) -> bool:
@@ -389,12 +409,14 @@ class RuntimeConfig:
         ``REPRO_CACHE_DIR``, ``REPRO_CACHE``, ``REPRO_SHARD_DIRS``,
         ``REPRO_MAX_IN_FLIGHT``, ``REPRO_SHADOW_TRAINING``,
         ``REPRO_REGISTRY_LRU_BYTES``, ``REPRO_REGISTRY_LOCK_WAIT``,
-        ``REPRO_REGISTRY_LOCK_STALE``, ``REPRO_GATEWAY_MAX_IN_FLIGHT`` and
-        ``REPRO_PRECISION``.
+        ``REPRO_REGISTRY_LOCK_STALE``, ``REPRO_GATEWAY_MAX_IN_FLIGHT``,
+        ``REPRO_PRECISION``, ``REPRO_VERDICT_CACHE``,
+        ``REPRO_VERDICT_CACHE_BYTES`` and ``REPRO_VERDICT_CACHE_TTL``.
         ``REPRO_SHARD_DIRS`` is a list of shard roots separated by
-        ``os.pathsep`` (``:`` on POSIX).  A malformed numeric value raises a
-        :class:`ValueError` naming the offending variable instead of a bare
-        parse error.
+        ``os.pathsep`` (``:`` on POSIX).  ``REPRO_VERDICT_CACHE=1`` turns
+        verdict memoisation on (any other value leaves it off).  A malformed
+        numeric value raises a :class:`ValueError` naming the offending
+        variable instead of a bare parse error.
         """
         shard_dirs = tuple(
             part for part in os.environ.get("REPRO_SHARD_DIRS", "").split(os.pathsep) if part
@@ -412,6 +434,9 @@ class RuntimeConfig:
             registry_lock_stale=_env_float("REPRO_REGISTRY_LOCK_STALE", 3600.0),
             gateway_max_in_flight=_env_int("REPRO_GATEWAY_MAX_IN_FLIGHT", None),
             precision=os.environ.get("REPRO_PRECISION") or "float64",
+            verdict_cache=os.environ.get("REPRO_VERDICT_CACHE", "0") == "1",
+            verdict_cache_bytes=_env_int("REPRO_VERDICT_CACHE_BYTES", None),
+            verdict_cache_ttl=_env_float("REPRO_VERDICT_CACHE_TTL", None),
         )
 
 

@@ -26,6 +26,11 @@ The runtime layer turns the BPROM pipeline into a production-shaped system:
   door: routes a mixed model stream to per-tenant detectors, fans out under
   one shared in-flight budget, merges the verdict streams and reports the
   whole serving picture in one ``stats()`` snapshot.
+* :class:`~repro.runtime.verdict_cache.VerdictCache` — fingerprint-keyed
+  memoisation of audit verdicts: a weighted-LRU memory tier over store
+  persistence, TTL/refit invalidation and in-flight dedup (futures
+  in-process, advisory locks across processes), amortising the query budget
+  over redundant fleet traffic.
 
 See ARCHITECTURE.md at the repository root for the full design.
 """
@@ -62,9 +67,13 @@ __all__ = [
     "Stage",
     "StagedPipeline",
     "StageReport",
+    "VerdictCache",
     "canonical_key",
     "dataset_fingerprint",
+    "detector_digest",
     "key_hash",
+    "model_fingerprint",
+    "verdict_cache_key",
 ]
 
 #: service classes import the detector, which imports this package's
@@ -79,6 +88,10 @@ _LAZY = {
     "RegistryEntry": "repro.runtime.registry",
     "AuditGateway": "repro.runtime.gateway",
     "GatewayVerdict": "repro.runtime.gateway",
+    "VerdictCache": "repro.runtime.verdict_cache",
+    "model_fingerprint": "repro.runtime.verdict_cache",
+    "verdict_cache_key": "repro.runtime.verdict_cache",
+    "detector_digest": "repro.runtime.verdict_cache",
 }
 
 

@@ -43,9 +43,15 @@ from repro.prompting.blackbox import QueryFunction
 from repro.runtime.executor import ParallelExecutor
 from repro.runtime.registry import DetectorRegistry, DetectorSpec, RegistryEntry
 from repro.runtime.service import AuditVerdict
-from repro.runtime.service_async import AsyncAuditService, AuditJob, SessionLifecycleMixin
+from repro.runtime.service_async import (
+    AsyncAuditService,
+    AuditJob,
+    SessionLifecycleMixin,
+    _cached_audit_task,
+)
 from repro.runtime.sharding import ShardedArtifactStore
 from repro.runtime.store import dataset_fingerprint
+from repro.runtime.verdict_cache import VerdictCache
 
 
 @dataclass
@@ -93,6 +99,8 @@ class _MNTDAuditService(SessionLifecycleMixin):
         key: str,
         model: ImageClassifier,
         query_function: Optional[QueryFunction] = None,
+        verdict_cache: Optional[VerdictCache] = None,
+        cache_key: Optional[Dict[str, Any]] = None,
     ) -> AuditJob:
         if query_function is not None:
             # MNTD queries the model object directly; there is no seam for a
@@ -104,7 +112,22 @@ class _MNTDAuditService(SessionLifecycleMixin):
                 "black-box query interface"
             )
         session = self._ensure_session()
-        future = session.submit(_mntd_audit_task, self.detector, self.clean_data, key, model)
+        if verdict_cache is not None and cache_key is not None:
+            # wrap-only mode (the gateway owns lookup/dedup): the task runs
+            # through the cache's store tier for cross-process single flight
+            future = session.submit(
+                _cached_audit_task,
+                verdict_cache,
+                cache_key,
+                key,
+                _mntd_audit_task,
+                self.detector,
+                self.clean_data,
+                key,
+                model,
+            )
+        else:
+            future = session.submit(_mntd_audit_task, self.detector, self.clean_data, key, model)
         return AuditJob(key=key, future=future)
 
     def reap(self, job: AuditJob) -> None:
@@ -123,8 +146,14 @@ class Tenant:
     fingerprints: Tuple[str, ...]
     accepted: int = 0
     rejected: int = 0
+    #: black-box queries actually spent (cold inspections only — warm
+    #: servings cost nothing, which is what amortisation measures)
     query_count: int = 0
     query_calls: int = 0
+    #: verdicts served from the cache's memory/store tiers
+    cache_hits: int = 0
+    #: verdicts that shared a concurrent submission's inspection
+    dedup_hits: int = 0
 
     @property
     def defense(self) -> str:
@@ -163,11 +192,18 @@ class AuditGateway:
         registry: Optional[DetectorRegistry] = None,
         runtime: Optional[RuntimeConfig] = None,
         max_in_flight: Optional[int] = None,
+        verdict_cache: Optional[VerdictCache] = None,
     ) -> None:
         if runtime is None:
             runtime = registry.runtime if registry is not None else DEFAULT_RUNTIME
         self.runtime = runtime
         self.registry = registry if registry is not None else DetectorRegistry(runtime=runtime)
+        if verdict_cache is None and runtime.verdict_cache:
+            # share the registry's (possibly sharded) store so cached verdicts
+            # live beside the detectors that produced them
+            verdict_cache = VerdictCache(store=self.registry.store, runtime=runtime)
+        #: fingerprint-keyed verdict memoisation; ``None`` disables caching
+        self.verdict_cache = verdict_cache
         if max_in_flight is None:
             max_in_flight = runtime.gateway_max_in_flight
         if max_in_flight is None:
@@ -308,6 +344,91 @@ class AuditGateway:
         job.future.add_done_callback(lambda _future: self._slots.release())
         return job
 
+    # -- cached submission -----------------------------------------------------
+    def _register_cached(self, tenant: Tenant, key: str, future: Future) -> AuditJob:
+        """Book a slot-free job (cache hit / dedup follower) as pending."""
+        job = AuditJob(key=key, future=future)
+        with self._lock:
+            self._pending[future] = (tenant.tenant_id, job)
+        return job
+
+    @staticmethod
+    def _completed(verdict: AuditVerdict) -> Future:
+        future: Future = Future()
+        future.set_result(verdict)
+        return future
+
+    def _chained(self, shared: Future, key: str) -> Future:
+        """A follower's future: the leader's verdict re-served for ``key``."""
+        future: Future = Future()
+
+        def _chain(done: Future) -> None:
+            exc = done.exception()
+            if exc is not None:
+                future.set_exception(exc)
+            else:
+                future.set_result(self.verdict_cache.served(done.result(), key, "dedup"))
+
+        shared.add_done_callback(_chain)
+        return future
+
+    def _finish_claim(self, token, future: Future) -> None:
+        """Resolve a leader's shared in-flight future from its job future."""
+        exc = future.exception()
+        if exc is not None:
+            self.verdict_cache.fail(token, exc)
+        else:
+            self.verdict_cache.complete(token, future.result())
+
+    def _submit_cached(
+        self,
+        key: str,
+        model: ImageClassifier,
+        metadata: Optional[Dict[str, Any]],
+        query_function: Optional[QueryFunction],
+        blocking: bool,
+    ) -> Optional[AuditJob]:
+        """Submit through the verdict cache; ``None`` when non-blocking and
+        no budget slot is free (only cold leaders need a slot — warm hits and
+        dedup followers short-circuit the ``max_in_flight`` semaphore).
+        """
+        cache = self.verdict_cache
+        tenant = self.route(metadata if metadata is not None else self._default_metadata(model))
+        cache_key = cache.key_for(model, tenant.entry.key_hash, tenant.spec.precision)
+        verdict = cache.lookup(cache_key, key)
+        if verdict is not None:
+            return self._register_cached(tenant, key, self._completed(verdict))
+        shared = cache.follow(cache_key)
+        if shared is not None:
+            return self._register_cached(tenant, key, self._chained(shared, key))
+        if not self._slots.acquire(blocking=blocking):
+            return None
+        claim = cache.begin(cache_key, key)
+        if claim[0] == "verdict":
+            self._slots.release()
+            return self._register_cached(tenant, key, self._completed(claim[1]))
+        if claim[0] == "follower":
+            self._slots.release()
+            return self._register_cached(tenant, key, self._chained(claim[1], key))
+        token = claim[1]
+        try:
+            job = tenant.service.submit(
+                key,
+                model,
+                query_function=query_function,
+                verdict_cache=cache,
+                cache_key=cache_key,
+            )
+        except BaseException as exc:
+            self._slots.release()
+            cache.fail(token, exc)
+            raise
+        with self._lock:
+            self._pending[job.future] = (tenant.tenant_id, job)
+        job.future.add_done_callback(lambda _future: self._slots.release())
+        job.future.add_done_callback(lambda future: self._finish_claim(token, future))
+        return job
+
     def submit(
         self,
         key: str,
@@ -322,7 +443,16 @@ class AuditGateway:
         :class:`~repro.runtime.service.AuditVerdict`; harvest through
         :meth:`as_completed`/:meth:`stream` to get tenant-annotated
         :class:`GatewayVerdict` rows and per-tenant accounting.
+
+        With a :class:`~repro.runtime.verdict_cache.VerdictCache` configured,
+        a warm submission returns an already-completed job without blocking
+        at the budget, and concurrent submissions of one model fingerprint
+        share a single inspection.
         """
+        if self.verdict_cache is not None and self.verdict_cache.enabled:
+            job = self._submit_cached(key, model, metadata, query_function, blocking=True)
+            assert job is not None  # blocking acquire cannot decline
+            return job
         self._slots.acquire()
         try:
             return self._submit_with_slot(key, model, metadata, query_function)
@@ -359,8 +489,17 @@ class AuditGateway:
                 tenant.rejected += 1
             else:
                 tenant.accepted += 1
-            tenant.query_count += verdict.query_count
-            tenant.query_calls += verdict.query_calls
+            provenance = getattr(verdict, "cache", "cold")
+            if provenance == "cold":
+                # only cold inspections spend queries; a warm serving's
+                # query_count describes the *original* inspection and must
+                # not be re-charged (that is the amortisation)
+                tenant.query_count += verdict.query_count
+                tenant.query_calls += verdict.query_calls
+            elif provenance == "dedup":
+                tenant.dedup_hits += 1
+            else:
+                tenant.cache_hits += 1
         return GatewayVerdict(
             name=verdict.name,
             backdoor_score=verdict.backdoor_score,
@@ -368,6 +507,7 @@ class AuditGateway:
             prompted_accuracy=verdict.prompted_accuracy,
             query_count=verdict.query_count,
             query_calls=verdict.query_calls,
+            cache=provenance,
             tenant=tenant_id,
         )
 
@@ -436,6 +576,8 @@ class AuditGateway:
             with self._lock:
                 return any(future.done() for future in self._pending)
 
+        cached = self.verdict_cache is not None and self.verdict_cache.enabled
+
         def top_up() -> None:
             # stop early once results are waiting: on an inline (serial)
             # executor every submission completes synchronously, and draining
@@ -444,13 +586,23 @@ class AuditGateway:
                 entry = pull()
                 if entry is None:
                     return
-                if not self._slots.acquire(blocking=False):
-                    lookahead.append(entry)
-                    return
                 key, model, metadata = entry
                 query_function = (
                     query_functions.get(key) if query_functions is not None else None
                 )
+                if cached:
+                    # warm hits and dedup followers need no budget slot; only
+                    # a cold leader does, and declining (no slot) re-queues
+                    job = self._submit_cached(
+                        key, model, metadata, query_function, blocking=False
+                    )
+                    if job is None:
+                        lookahead.append(entry)
+                        return
+                    continue
+                if not self._slots.acquire(blocking=False):
+                    lookahead.append(entry)
+                    return
                 try:
                     self._submit_with_slot(key, model, metadata, query_function)
                 except BaseException:
@@ -493,10 +645,17 @@ class AuditGateway:
     def stats(self) -> Dict[str, Any]:
         """The serving dashboard in one snapshot.
 
-        Per-tenant verdict counts and query budgets, the registry's
-        hit/miss/evict counters, the (per-shard) store statistics and the
-        gateway's own in-flight gauge.
+        Per-tenant verdict counts, query budgets and amortised
+        queries-per-verdict, the registry's hit/miss/evict counters, the
+        (per-shard) store statistics, the verdict cache's hit/miss/dedup
+        counters (when caching is on) and the gateway's own in-flight gauge.
         """
+
+        def amortized(queries: int, verdicts: int) -> Optional[float]:
+            # queries actually spent per verdict served; the cache drives
+            # this below the cold-path cost as redundant traffic hits
+            return (queries / verdicts) if verdicts else None
+
         with self._lock:
             tenants = {
                 tenant.tenant_id: {
@@ -509,14 +668,25 @@ class AuditGateway:
                     "rejected": tenant.rejected,
                     "query_count": tenant.query_count,
                     "query_calls": tenant.query_calls,
+                    "cache_hits": tenant.cache_hits,
+                    "dedup_hits": tenant.dedup_hits,
+                    "amortized_queries_per_verdict": amortized(
+                        tenant.query_count, tenant.accepted + tenant.rejected
+                    ),
                 }
                 for tenant in self._tenants.values()
             }
             in_flight = sum(1 for future in self._pending if not future.done())
+            fleet_queries = sum(t.query_count for t in self._tenants.values())
+            fleet_verdicts = sum(t.accepted + t.rejected for t in self._tenants.values())
         return {
             "tenants": tenants,
             "registry": self.registry.stats(),
             "store": self._store_stats(),
+            "verdict_cache": (
+                self.verdict_cache.stats() if self.verdict_cache is not None else None
+            ),
+            "amortized_queries_per_verdict": amortized(fleet_queries, fleet_verdicts),
             "in_flight": in_flight,
             "max_in_flight": self.max_in_flight,
         }

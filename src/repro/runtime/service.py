@@ -22,6 +22,8 @@ from repro.datasets.base import ImageDataset
 from repro.models.classifier import ImageClassifier
 from repro.prompting.blackbox import QueryFunction
 from repro.runtime.executor import ParallelExecutor
+from repro.runtime.store import key_hash
+from repro.runtime.verdict_cache import VerdictCache, detector_digest
 
 
 def resolve_executor(
@@ -46,6 +48,12 @@ class AuditVerdict:
     query_count: int = 0
     #: round-trips to the model's query endpoint
     query_calls: int = 0
+    #: how this verdict was obtained: ``"cold"`` (inspected for this
+    #: submission) or a :data:`~repro.runtime.verdict_cache.CACHE_PROVENANCES`
+    #: cache tier (``"memory"``/``"store"``/``"dedup"``).  ``query_count``
+    #: and ``query_calls`` always describe the *original* inspection; a warm
+    #: serving spent none of them
+    cache: str = "cold"
 
     @property
     def verdict(self) -> str:
@@ -65,9 +73,18 @@ class AuditService:
         self,
         detector: BpromDetector,
         runtime: Optional[RuntimeConfig] = None,
+        verdict_cache: Optional[VerdictCache] = None,
     ) -> None:
         self.detector = detector
         self.executor = resolve_executor(detector, runtime)
+        if verdict_cache is None and runtime is not None and runtime.verdict_cache:
+            verdict_cache = VerdictCache(runtime=runtime)
+        self.verdict_cache = verdict_cache
+        #: content digest of the fitted detector, the cache-key coordinate
+        #: that a refit bumps (gateway tenants use their registry key_hash)
+        self.detector_digest = (
+            detector_digest(detector) if verdict_cache is not None else None
+        )
 
     @classmethod
     def from_saved(
@@ -104,17 +121,52 @@ class AuditService:
         catalogue: Dict[str, ImageClassifier],
         query_functions: Optional[Dict[str, QueryFunction]] = None,
     ) -> List[AuditVerdict]:
-        """Screen a named catalogue of models; returns one verdict per entry."""
+        """Screen a named catalogue of models; returns one verdict per entry.
+
+        With a :class:`~repro.runtime.verdict_cache.VerdictCache` configured,
+        warm entries are served from the cache (zero queries spent), the
+        same weights appearing under several catalogue keys are inspected
+        once, and the remaining cold misses run as one parallel fan-out
+        whose verdicts fill the cache.  Note the cached verdict keeps its
+        *minting* submission's prompting seed: a warm serving under a new
+        key returns the minting inspection's numbers, which is the point of
+        memoisation (re-keyed cold inspections would re-derive seeds).
+        """
         names = list(catalogue)
-        models = [catalogue[name] for name in names]
+        cache = self.verdict_cache
+        verdicts: Dict[str, AuditVerdict] = {}
+        cold_names = names
+        cache_keys: Dict[str, Dict] = {}
+        followers: Dict[str, str] = {}
+        if cache is not None and cache.enabled:
+            precision = getattr(getattr(self.detector, "runtime", None), "precision", "float64")
+            leaders: Dict[str, str] = {}
+            cold_names = []
+            for name in names:
+                cache_keys[name] = cache.key_for(
+                    catalogue[name], self.detector_digest, precision
+                )
+                hit = cache.lookup(cache_keys[name], name)
+                if hit is not None:
+                    verdicts[name] = hit
+                    continue
+                digest = key_hash(cache_keys[name])
+                if digest in leaders:
+                    followers[name] = leaders[digest]
+                    cache.record_dedup()
+                else:
+                    leaders[digest] = name
+                    cold_names.append(name)
+                    cache.record_miss()
         functions = None
         if query_functions is not None:
-            functions = [query_functions.get(name) for name in names]
+            functions = [query_functions.get(name) for name in cold_names]
         # seed on the catalogue key, not model.name: vendors reuse names, and
         # duplicate-named entries must not share visual-prompt seeds
-        results = self.inspect_many(models, query_functions=functions, keys=names)
-        return [
-            AuditVerdict(
+        models = [catalogue[name] for name in cold_names]
+        results = self.inspect_many(models, query_functions=functions, keys=cold_names)
+        for name, result in zip(cold_names, results):
+            verdict = AuditVerdict(
                 name=name,
                 backdoor_score=result.backdoor_score,
                 is_backdoored=result.is_backdoored,
@@ -122,5 +174,9 @@ class AuditService:
                 query_count=result.query_count,
                 query_calls=result.query_calls,
             )
-            for name, result in zip(names, results)
-        ]
+            if cache is not None and cache.enabled:
+                cache.store_verdict(cache_keys[name], verdict)
+            verdicts[name] = verdict
+        for name, leader in followers.items():
+            verdicts[name] = cache.served(verdicts[leader], name, "dedup")
+        return [verdicts[name] for name in names]

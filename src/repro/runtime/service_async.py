@@ -39,6 +39,7 @@ from repro.prompting.blackbox import QueryFunction
 from repro.models.classifier import ImageClassifier
 from repro.runtime.executor import ExecutorSession, ParallelExecutor
 from repro.runtime.service import AuditVerdict, resolve_executor
+from repro.runtime.verdict_cache import VerdictCache, detector_digest
 
 
 def _audit_task(
@@ -57,6 +58,17 @@ def _audit_task(
         query_count=result.query_count,
         query_calls=result.query_calls,
     )
+
+
+def _cached_audit_task(cache: VerdictCache, cache_key, name: str, task, *args) -> AuditVerdict:
+    """Run one audit task through the cache's store tier, in the worker.
+
+    Module-level (and the cache drops its in-memory/in-flight state when
+    pickled) so process-backend executors can ship it; the advisory-lock
+    single flight inside :meth:`VerdictCache.compute_through_store` is what
+    keeps two racing *processes* down to one inspection.
+    """
+    return cache.compute_through_store(cache_key, name, lambda: task(*args))
 
 
 @dataclass
@@ -139,9 +151,18 @@ class AsyncAuditService(SessionLifecycleMixin):
         detector: BpromDetector,
         runtime: Optional[RuntimeConfig] = None,
         max_in_flight: Optional[int] = None,
+        verdict_cache: Optional[VerdictCache] = None,
     ) -> None:
         self.detector = detector
         self.executor = resolve_executor(detector, runtime)
+        if verdict_cache is None and runtime is not None and runtime.verdict_cache:
+            verdict_cache = VerdictCache(runtime=runtime)
+        self.verdict_cache = verdict_cache
+        #: content digest of the fitted detector — the cache-key coordinate a
+        #: refit bumps (gateway tenants key on their registry entry instead)
+        self.detector_digest = (
+            detector_digest(detector) if verdict_cache is not None else None
+        )
         if max_in_flight is None and runtime is not None:
             max_in_flight = runtime.max_in_flight
         if max_in_flight is None:
@@ -194,6 +215,8 @@ class AsyncAuditService(SessionLifecycleMixin):
         key: str,
         model: ImageClassifier,
         query_function: Optional[QueryFunction] = None,
+        verdict_cache: Optional[VerdictCache] = None,
+        cache_key: Optional[Dict] = None,
     ) -> AuditJob:
         """Enqueue one audit; blocks while ``max_in_flight`` jobs are running.
 
@@ -201,11 +224,34 @@ class AsyncAuditService(SessionLifecycleMixin):
         concurrently) from flooding the pool's queue; with a serial executor
         the job completes synchronously and ``submit`` never blocks.
         Finished jobs are retained until :meth:`as_completed` drains them.
+
+        With the service's own :class:`VerdictCache` configured, warm
+        submissions return an already-completed job without consuming an
+        in-flight slot, and concurrent submissions of one fingerprint share
+        a single inspection.  Passing ``verdict_cache`` *and* ``cache_key``
+        explicitly is the gateway's wrap-only mode: the caller owns lookup
+        and dedup, this service only routes the task through the cache's
+        store tier (cross-process single flight + write-back).
         """
+        if verdict_cache is None and self.verdict_cache is not None and self.verdict_cache.enabled:
+            return self._submit_cached(key, model, query_function)
         session = self._ensure_session()
         self._slots.acquire()  # released by _mark_done when the job finishes
         try:
-            future = session.submit(_audit_task, self.detector, key, model, query_function)
+            if verdict_cache is not None and cache_key is not None:
+                future = session.submit(
+                    _cached_audit_task,
+                    verdict_cache,
+                    cache_key,
+                    key,
+                    _audit_task,
+                    self.detector,
+                    key,
+                    model,
+                    query_function,
+                )
+            else:
+                future = session.submit(_audit_task, self.detector, key, model, query_function)
         except BaseException:
             self._slots.release()
             raise
@@ -216,6 +262,78 @@ class AsyncAuditService(SessionLifecycleMixin):
         # runs immediately (in this thread) if the future is already done,
         # e.g. on the serial backend — safe because the add happened above
         future.add_done_callback(self._mark_done)
+        return job
+
+    def _register_resolved(self, key: str, future: Future) -> AuditJob:
+        """Book a slot-free job (cache hit / dedup follower) into the queue."""
+        job = AuditJob(key=key, future=future)
+        with self._lock:
+            self._jobs[future] = job
+        return job
+
+    def _finish_claim(self, token, future: Future) -> None:
+        """Resolve a leader's shared in-flight future from its job future."""
+        exc = future.exception()
+        if exc is not None:
+            self.verdict_cache.fail(token, exc)
+        else:
+            self.verdict_cache.complete(token, future.result())
+
+    def _submit_cached(
+        self, key: str, model: ImageClassifier, query_function: Optional[QueryFunction]
+    ) -> AuditJob:
+        """The full caching path: lookup, in-flight dedup, or lead an audit."""
+        cache = self.verdict_cache
+        precision = getattr(getattr(self.detector, "runtime", None), "precision", "float64")
+        cache_key = cache.key_for(model, self.detector_digest, precision)
+        verdict = cache.lookup(cache_key, key)
+        if verdict is not None:
+            future: Future = Future()
+            future.set_result(verdict)
+            return self._register_resolved(key, future)
+        claim = cache.begin(cache_key, key)
+        if claim[0] == "verdict":
+            future = Future()
+            future.set_result(claim[1])
+            return self._register_resolved(key, future)
+        if claim[0] == "follower":
+            shared = claim[1]
+            future = Future()
+
+            def _chain(done: Future) -> None:
+                exc = done.exception()
+                if exc is not None:
+                    future.set_exception(exc)
+                else:
+                    future.set_result(cache.served(done.result(), key, "dedup"))
+
+            shared.add_done_callback(_chain)
+            return self._register_resolved(key, future)
+        token = claim[1]
+        session = self._ensure_session()
+        self._slots.acquire()
+        try:
+            future = session.submit(
+                _cached_audit_task,
+                cache,
+                cache_key,
+                key,
+                _audit_task,
+                self.detector,
+                key,
+                model,
+                query_function,
+            )
+        except BaseException as exc:
+            self._slots.release()
+            cache.fail(token, exc)
+            raise
+        job = AuditJob(key=key, future=future)
+        with self._lock:
+            self._jobs[future] = job
+            self._running.add(future)
+        future.add_done_callback(self._mark_done)
+        future.add_done_callback(lambda done: self._finish_claim(token, done))
         return job
 
     def reap(self, job: AuditJob) -> None:
@@ -266,8 +384,17 @@ class AsyncAuditService(SessionLifecycleMixin):
         completion timing.  At most ``max_in_flight`` entries are outstanding
         at once, so memory stays constant in the catalogue size.  Uses its
         own pool session, independent of :meth:`submit` state.
+
+        With the service's :class:`VerdictCache` configured, warm entries
+        are served without touching the worker pool, and cold inspections go
+        through the cache's store tier (cross-process single flight +
+        write-back); verdict arrival order then also depends on cache state.
         """
+        cache = self.verdict_cache
+        use_cache = cache is not None and cache.enabled
+        precision = getattr(getattr(self.detector, "runtime", None), "precision", "float64")
         backlog = deque(catalogue.items())
+        warm: deque = deque()  # cache hits awaiting yield, in submission order
         with self.executor.session() as session:
             pending: Dict[Future, str] = {}
             # a poolless session runs each submit inline, so a wider window
@@ -281,13 +408,36 @@ class AsyncAuditService(SessionLifecycleMixin):
                     query_function = (
                         query_functions.get(key) if query_functions is not None else None
                     )
-                    future = session.submit(
-                        _audit_task, self.detector, key, model, query_function
-                    )
+                    if use_cache:
+                        cache_key = cache.key_for(model, self.detector_digest, precision)
+                        verdict = cache.lookup(cache_key, key)
+                        if verdict is not None:
+                            warm.append(verdict)
+                            continue
+                        cache.record_miss()
+                        future = session.submit(
+                            _cached_audit_task,
+                            cache,
+                            cache_key,
+                            key,
+                            _audit_task,
+                            self.detector,
+                            key,
+                            model,
+                            query_function,
+                        )
+                    else:
+                        future = session.submit(
+                            _audit_task, self.detector, key, model, query_function
+                        )
                     pending[future] = key
 
-            while backlog or pending:
+            while backlog or pending or warm:
                 top_up()
+                while warm:
+                    yield warm.popleft()
+                if not pending:
+                    continue
                 done, _ = wait(list(pending), return_when=FIRST_COMPLETED)
                 for future in [f for f in list(pending) if f in done]:
                     del pending[future]

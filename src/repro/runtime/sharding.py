@@ -144,6 +144,18 @@ class ShardedArtifactStore(ArtifactStore):
             self.shard_for(key).misses += 1
         return MISS
 
+    def delete(self, kind: str, key: Any) -> bool:
+        """Remove one artifact from *every* shard holding a copy.
+
+        Reads fall through across shards, so deleting only the home copy
+        would leave a stray replica (e.g. pre-rebalance) resurrecting the
+        artifact on the next lookup.
+        """
+        deleted = False
+        for shard in self.shards:
+            deleted = shard.delete(kind, key) or deleted
+        return deleted
+
     # -- statistics -----------------------------------------------------------
     def stats(self) -> Dict[str, Dict[str, int]]:
         """Per-shard ``{root: {hits, misses, artifacts}}`` serving statistics."""

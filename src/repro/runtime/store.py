@@ -217,6 +217,21 @@ class ArtifactStore:
             shutil.rmtree(temp, ignore_errors=True)
             raise
 
+    def delete(self, kind: str, key: Any) -> bool:
+        """Remove one artifact; ``True`` when something was deleted.
+
+        ``open_write`` keeps an existing destination (first-wins), so a
+        caller that must *replace* an artifact — e.g. the verdict cache
+        re-auditing a TTL-expired entry — deletes first, then writes.
+        """
+        if not self.enabled:
+            return False
+        directory = self.directory_for(kind, key)
+        if not directory.exists():
+            return False
+        shutil.rmtree(directory, ignore_errors=True)
+        return True
+
     # -- the memoisation primitive --------------------------------------------
     def try_load(self, kind: str, key: Any, load: Callable[[Artifact], Any]) -> Any:
         """The loaded artifact value, or the :data:`MISS` sentinel.

@@ -1,0 +1,587 @@
+"""Fleet-scale verdict cache: fingerprint-keyed memoisation of audit verdicts.
+
+Production audit traffic is redundant — the same suspicious model is submitted
+by many tenants and users — yet every submission pays the full black-box
+prompting bill.  The paper's headline efficiency metric is the *query budget*;
+memoising verdicts by model-weight fingerprint amortises that budget
+fleet-wide, turning a redundant submission from O(full inspection) into
+O(hash + load).
+
+Key construction
+----------------
+A cached verdict is addressed by the triple
+
+``(model fingerprint, detector digest, precision tier)``
+
+* :func:`model_fingerprint` — an order-stable content hash over the model's
+  ``state_dict`` arrays plus its architectural metadata (two differently
+  *named* uploads of the same weights share a verdict; two differently
+  *trained* models never do);
+* the **detector digest** — the registry ``key_hash`` of the tenant's fitted
+  detector (or :func:`detector_digest` for bare services), so refitting a
+  detector invalidates every verdict it produced;
+* the **precision tier**, so float32 and float64 deployments never share an
+  entry.
+
+Tiers and dedup
+---------------
+The cache is two-tier: a byte-budgeted in-memory **weighted LRU** (hits carry
+weight; each eviction sweep halves every weight, so formerly-hot entries decay
+back out) over persistence in the (optionally sharded)
+:class:`~repro.runtime.store.ArtifactStore`.  Concurrent submissions of one
+fingerprint are **single-flighted**: in-process via a shared future
+(:meth:`VerdictCache.begin`), cross-process via the store's
+:class:`~repro.runtime.locks.AdvisoryLock` protocol
+(:meth:`VerdictCache.compute_through_store`) — two threads *and* two processes
+racing on the same model perform exactly one inspection.
+
+Staleness
+---------
+``ttl_seconds`` bounds the age of a served verdict (both tiers); an expired
+store entry is deleted and re-audited.  Detector refits need no TTL: the new
+fit changes the detector digest, which changes the key.
+
+The cache assumes the submission's query endpoint is faithful to the
+submitted weights — a ``query_function`` that answers differently than the
+model's own ``predict_proba`` would make memoisation unsound, exactly as it
+would make the verdict itself unsound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.config import RuntimeConfig
+from repro.runtime.locks import AdvisoryLock
+from repro.runtime.store import (
+    ArtifactStore,
+    MISS,
+    canonical_key,
+    key_hash,
+    state_fingerprint,
+)
+
+#: artifact kind under which cached verdicts live in the store
+VERDICT_KIND = "audit-verdict"
+
+#: bump when the cached-verdict payload layout changes incompatibly
+VERDICT_CACHE_FORMAT_VERSION = 1
+
+#: fixed per-entry bookkeeping charge added to the serialized payload size
+#: when accounting the in-memory tier against ``max_bytes``
+_ENTRY_OVERHEAD_BYTES = 256
+
+#: cache provenance values an :class:`~repro.runtime.service.AuditVerdict`
+#: may carry: ``"cold"`` (inspected now), ``"memory"``/``"store"`` (served
+#: from a tier), ``"dedup"`` (shared a concurrent submission's inspection)
+CACHE_PROVENANCES = ("cold", "memory", "store", "dedup")
+
+
+def model_fingerprint(model: Any) -> str:
+    """Order-stable content digest of a suspicious model.
+
+    Hashes the architectural metadata (architecture, class count, input
+    geometry — *not* the display name, which vendors reuse and attackers
+    choose) together with the sorted ``state_dict`` arrays via
+    :func:`~repro.runtime.store.state_fingerprint`.  Two uploads of the same
+    weights under different names share a fingerprint; retraining changes it.
+    """
+    digest = hashlib.sha256()
+    metadata = {
+        "architecture": getattr(model, "architecture", None),
+        "num_classes": getattr(model, "num_classes", None),
+        "image_size": getattr(model, "image_size", None),
+        "in_channels": getattr(model, "in_channels", None),
+    }
+    digest.update(canonical_key(metadata).encode("utf-8"))
+    digest.update(state_fingerprint(model.state_dict()).encode("utf-8"))
+    return digest.hexdigest()[:20]
+
+
+def verdict_cache_key(fingerprint: str, detector_digest: str, precision: str) -> Dict[str, Any]:
+    """The store key payload addressing one cached verdict.
+
+    Every coordinate is unconditional: the detector digest ties the verdict
+    to the exact fitted detector that produced it (a refit bumps the digest
+    and invalidates), and the precision tier keeps float32 and float64
+    deployments from ever sharing an entry (lint rule K202 enforces both).
+    """
+    return {
+        "fingerprint": str(fingerprint),
+        "detector_digest": str(detector_digest),
+        "precision": str(precision),
+    }
+
+
+def detector_digest(detector: Any) -> str:
+    """Content digest of a fitted detector, for services outside the registry.
+
+    Gateway tenants use their registry entry's ``key_hash`` (which already
+    encodes profile/seed/data/precision); a bare
+    :class:`~repro.runtime.service.AuditService` has no registry entry, so
+    this hashes the state that inspection actually reads: the meta-classifier
+    state, the query pool, the decision threshold and the precision tier.
+    Refitting the detector changes the meta state, hence the digest.
+    """
+    digest = hashlib.sha256()
+    meta = getattr(detector, "meta_classifier", None)
+    if meta is not None and hasattr(meta, "get_state"):
+        state, info = meta.get_state()
+        digest.update(state_fingerprint(state).encode("utf-8"))
+        digest.update(canonical_key(info).encode("utf-8"))
+    pool = getattr(meta, "query_pool", None) if meta is not None else None
+    if pool is None:
+        pool = getattr(detector, "query_images", None)
+    if pool is not None:
+        images = getattr(pool, "images", pool)
+        digest.update(state_fingerprint({"pool": images}).encode("utf-8"))
+    runtime = getattr(detector, "runtime", None)
+    summary = {
+        "threshold": getattr(detector, "threshold", None),
+        "seed": getattr(detector, "seed", None),
+        "precision": getattr(runtime, "precision", None)
+        or getattr(detector, "precision", None),
+        "kind": type(detector).__name__,
+    }
+    digest.update(canonical_key(summary).encode("utf-8"))
+    return digest.hexdigest()[:20]
+
+
+@dataclass
+class _MemoryEntry:
+    """One in-memory cached verdict with its weighted-LRU bookkeeping."""
+
+    verdict: Any
+    created: float
+    nbytes: int
+    weight: float = 1.0
+
+
+class VerdictCache:
+    """Two-tier, dedup-aware memoisation of audit verdicts.
+
+    Parameters
+    ----------
+    store:
+        Persistence tier (plain or sharded artifact store); ``None`` derives
+        one from ``runtime``.  A disabled store leaves the memory tier and
+        in-process dedup fully functional (the cache just forgets on restart).
+    runtime:
+        Source of defaults: ``verdict_cache_bytes`` (memory budget),
+        ``verdict_cache_ttl`` (staleness bound) and the advisory-lock tuning
+        (``registry_lock_wait``/``registry_lock_stale`` — verdict inspections
+        share the registry's cross-process lock discipline).
+    max_bytes / ttl_seconds / enabled:
+        Explicit overrides of the runtime-derived defaults.
+    clock:
+        Injectable time source for the TTL policy (tests freeze it); the
+        default is wall-clock, which is what artifact ages are measured in.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ArtifactStore] = None,
+        runtime: Optional[RuntimeConfig] = None,
+        max_bytes: Optional[int] = None,
+        ttl_seconds: Optional[float] = None,
+        enabled: bool = True,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.runtime = runtime
+        if store is None:
+            store = ArtifactStore.from_config(runtime)
+        self.store = store
+        if max_bytes is None and runtime is not None:
+            max_bytes = runtime.verdict_cache_bytes
+        if ttl_seconds is None and runtime is not None:
+            ttl_seconds = runtime.verdict_cache_ttl
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError(f"ttl_seconds must be positive, got {ttl_seconds}")
+        self.max_bytes = max_bytes
+        self.ttl_seconds = ttl_seconds
+        self.enabled = bool(enabled)
+        self.clock = clock
+        self._lock_wait = runtime.registry_lock_wait if runtime is not None else 600.0
+        self._lock_stale = runtime.registry_lock_stale if runtime is not None else 3600.0
+        self._lock = threading.Lock()
+        #: memory tier: key digest -> entry, ordered cold -> hot (LRU order)
+        self._entries: "OrderedDict[str, _MemoryEntry]" = OrderedDict()
+        #: in-flight leaders: key digest -> shared future of the inspection
+        self._inflight: Dict[str, Any] = {}
+        self.memory_bytes = 0
+        self.memory_hits = 0
+        self.store_hits = 0
+        self.dedup_hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+        #: cold inspections actually performed through this cache instance
+        self.inspections = 0
+
+    # -- pickling: a worker-process clone shares only the store tier ---------
+    def __getstate__(self) -> Dict[str, Any]:
+        state = self.__dict__.copy()
+        state["_lock"] = None
+        state["_entries"] = OrderedDict()
+        state["_inflight"] = {}
+        state["memory_bytes"] = 0
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    # -- key construction -----------------------------------------------------
+    def key_for(self, model: Any, detector_digest: str, precision: str) -> Dict[str, Any]:
+        """The cache key for auditing ``model`` with one fitted detector."""
+        return verdict_cache_key(model_fingerprint(model), detector_digest, precision)
+
+    # -- serving --------------------------------------------------------------
+    @staticmethod
+    def served(verdict: Any, name: str, provenance: str) -> Any:
+        """A copy of a cached verdict re-labelled for one submission.
+
+        The stored verdict keeps the key it was minted under; each serving
+        rewrites the display name to the current submission's key and stamps
+        how the verdict was obtained (``cache`` provenance field).
+        """
+        return replace(verdict, name=name, cache=provenance)
+
+    def lookup(self, key: Dict[str, Any], name: str) -> Optional[Any]:
+        """Serve a verdict from the memory or store tier, or ``None``.
+
+        A memory hit bumps the entry's weight (weighted LRU); a store hit
+        promotes the verdict into the memory tier.  Expired entries (older
+        than ``ttl_seconds``) are dropped — store entries are deleted so the
+        re-audit can persist its fresh verdict.
+        """
+        if not self.enabled:
+            return None
+        digest = key_hash(key)
+        with self._lock:
+            entry = self._memory_get(digest)
+            if entry is not None:
+                self.memory_hits += 1
+                entry.weight += 1.0
+                return self.served(entry.verdict, name, "memory")
+        verdict = self._load_store(key)
+        if verdict is None:
+            return None
+        with self._lock:
+            self.store_hits += 1
+            self._memory_put(digest, verdict)
+        return self.served(verdict, name, "store")
+
+    # -- in-process single flight ---------------------------------------------
+    def begin(self, key: Dict[str, Any], name: str):
+        """Claim one submission's place in the in-flight dedup protocol.
+
+        Returns one of::
+
+            ("verdict", verdict)   # memory hit — serve immediately
+            ("follower", future)   # another submission is inspecting this
+                                   # fingerprint; share its future
+            ("leader", token)      # this submission owns the inspection;
+                                   # finish with complete()/fail()
+
+        The check-and-claim is atomic, so two racing submissions resolve to
+        exactly one leader.  The store tier is *not* consulted here (callers
+        do a :meth:`lookup` first, and the leader's
+        :meth:`compute_through_store` re-checks it cross-process).
+        """
+        digest = key_hash(key)
+        with self._lock:
+            entry = self._memory_get(digest)
+            if entry is not None:
+                self.memory_hits += 1
+                entry.weight += 1.0
+                return ("verdict", self.served(entry.verdict, name, "memory"))
+            shared = self._inflight.get(digest)
+            if shared is not None:
+                self.dedup_hits += 1
+                return ("follower", shared)
+            self.misses += 1
+            shared = Future()
+            self._inflight[digest] = shared
+            return ("leader", (digest, key, shared))
+
+    def follow(self, key: Dict[str, Any]) -> Optional[Future]:
+        """The in-flight leader's shared future for ``key``, if any.
+
+        Lets a caller that cannot yet commit to leading (e.g. the gateway's
+        non-blocking stream top-up, which must not claim leadership before it
+        holds a budget slot) join an existing flight without one.
+        """
+        digest = key_hash(key)
+        with self._lock:
+            shared = self._inflight.get(digest)
+            if shared is not None:
+                self.dedup_hits += 1
+            return shared
+
+    def complete(self, token: Tuple[str, Dict[str, Any], Any], verdict: Any) -> None:
+        """Leader-side success: publish the verdict to memory and followers."""
+        digest, _key, shared = token
+        with self._lock:
+            if verdict.cache == "cold":
+                self.inspections += 1
+            self._memory_put(digest, verdict)
+            self._inflight.pop(digest, None)
+        shared.set_result(verdict)
+
+    def fail(self, token: Tuple[str, Dict[str, Any], Any], exc: BaseException) -> None:
+        """Leader-side failure: release the claim, propagate to followers."""
+        digest, _key, shared = token
+        with self._lock:
+            self._inflight.pop(digest, None)
+        shared.set_exception(exc)
+
+    # -- cross-process single flight ------------------------------------------
+    def compute_through_store(
+        self, key: Dict[str, Any], name: str, compute: Callable[[], Any]
+    ) -> Any:
+        """Run one inspection with store write-back and cross-process dedup.
+
+        Executed where the inspection executes (a worker thread or process):
+        re-checks the store, then serialises racing processes through the
+        key's advisory lock — the loser finds the winner's verdict on disk
+        and loads it instead of inspecting.  Without a persistent store this
+        degrades to a plain compute (in-process dedup still applies upstream).
+        """
+        if not self.enabled or not self.store.enabled:
+            return compute()
+        verdict = self._load_store(key)
+        if verdict is not None:
+            with self._lock:
+                self.store_hits += 1
+            return self.served(verdict, name, "store")
+        lock = AdvisoryLock(
+            self.store.lock_path(VERDICT_KIND, key),
+            stale_seconds=self._lock_stale,
+            wait_seconds=self._lock_wait,
+        )
+        with lock:
+            verdict = self._load_store(key)
+            if verdict is not None:
+                with self._lock:
+                    self.store_hits += 1
+                return self.served(verdict, name, "store")
+            verdict = compute()
+            self._write_store(key, verdict)
+        return verdict
+
+    def store_verdict(self, key: Dict[str, Any], verdict: Any) -> None:
+        """Write-back one cold verdict to both tiers.
+
+        Used by the batch :meth:`~repro.runtime.service.AuditService.audit`
+        path, which inspects its misses as one parallel fan-out and fills the
+        cache afterwards (the streaming paths fill through
+        :meth:`complete`/:meth:`compute_through_store` instead).  A store
+        entry that landed concurrently is kept (first-wins).
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            if getattr(verdict, "cache", "cold") == "cold":
+                self.inspections += 1
+            self._memory_put(key_hash(key), verdict)
+        if self.store.enabled and not self.store.contains(VERDICT_KIND, key):
+            self._write_store(key, verdict)
+
+    def record_miss(self) -> None:
+        """Count one cold inspection decision made outside :meth:`begin`."""
+        with self._lock:
+            self.misses += 1
+
+    def record_dedup(self) -> None:
+        """Count one submission that shared another's inspection."""
+        with self._lock:
+            self.dedup_hits += 1
+
+    # -- the one-call synchronous form ----------------------------------------
+    def get_or_compute(self, key: Dict[str, Any], name: str, compute: Callable[[], Any]) -> Any:
+        """Serve from any tier, deduplicate in flight, or inspect and fill.
+
+        The synchronous composition of the whole protocol, used by the batch
+        :class:`~repro.runtime.service.AuditService` and by tests; the
+        streaming paths drive :meth:`lookup`/:meth:`begin` asynchronously.
+        """
+        if not self.enabled:
+            return compute()
+        verdict = self.lookup(key, name)
+        if verdict is not None:
+            return verdict
+        claim = self.begin(key, name)
+        if claim[0] == "verdict":
+            return claim[1]
+        if claim[0] == "follower":
+            shared = claim[1]
+            return self.served(shared.result(), name, "dedup")
+        token = claim[1]
+        try:
+            verdict = self.compute_through_store(key, name, compute)
+        except BaseException as exc:
+            self.fail(token, exc)
+            raise
+        self.complete(token, verdict)
+        return self.served(verdict, name, verdict.cache)
+
+    # -- memory tier (callers hold self._lock) --------------------------------
+    def _expired(self, created: float) -> bool:
+        return self.ttl_seconds is not None and (self.clock() - created) > self.ttl_seconds
+
+    def _memory_get(self, digest: str) -> Optional[_MemoryEntry]:
+        entry = self._entries.get(digest)
+        if entry is None:
+            return None
+        if self._expired(entry.created):
+            del self._entries[digest]
+            self.memory_bytes -= entry.nbytes
+            self.expirations += 1
+            return None
+        self._entries.move_to_end(digest)
+        return entry
+
+    def _memory_put(self, digest: str, verdict: Any) -> None:
+        if self.max_bytes == 0:
+            return
+        canonical = self._canonical_verdict(verdict)
+        nbytes = len(canonical_key(self._verdict_payload(canonical))) + _ENTRY_OVERHEAD_BYTES
+        stale = self._entries.pop(digest, None)
+        if stale is not None:
+            self.memory_bytes -= stale.nbytes
+        self._entries[digest] = _MemoryEntry(
+            verdict=canonical, created=self.clock(), nbytes=nbytes
+        )
+        self.memory_bytes += nbytes
+        if self.max_bytes is None:
+            return
+        # weighted LRU: evict the lowest-weight entry (LRU order breaks
+        # ties), never the entry just inserted; each eviction halves every
+        # weight so long-ago-hot entries decay back toward cold
+        while self.memory_bytes > self.max_bytes and len(self._entries) > 1:
+            victim = min(
+                (d for d in self._entries if d != digest),
+                key=lambda d: (self._entries[d].weight, self._position(d)),
+            )
+            removed = self._entries.pop(victim)
+            self.memory_bytes -= removed.nbytes
+            self.evictions += 1
+            for entry in self._entries.values():
+                entry.weight *= 0.5
+
+    def _position(self, digest: str) -> int:
+        for index, candidate in enumerate(self._entries):
+            if candidate == digest:
+                return index
+        return len(self._entries)
+
+    # -- store tier ------------------------------------------------------------
+    @staticmethod
+    def _canonical_verdict(verdict: Any):
+        """The tier-resident form of a verdict: provenance reset to cold.
+
+        Tiers store what the inspection produced; provenance describes each
+        *serving* and is stamped by :meth:`served` on the way out.
+        """
+        if getattr(verdict, "cache", "cold") != "cold":
+            return replace(verdict, cache="cold")
+        return verdict
+
+    @staticmethod
+    def _verdict_payload(verdict: Any) -> Dict[str, Any]:
+        return {
+            "name": verdict.name,
+            "backdoor_score": float(verdict.backdoor_score),
+            "is_backdoored": bool(verdict.is_backdoored),
+            "prompted_accuracy": float(verdict.prompted_accuracy),
+            "query_count": int(verdict.query_count),
+            "query_calls": int(verdict.query_calls),
+        }
+
+    def _load_store(self, key: Dict[str, Any]) -> Optional[Any]:
+        """The persisted verdict for ``key``, or ``None`` (absent/expired).
+
+        JSON round-trips floats exactly (repr-based), so a loaded verdict is
+        bit-identical to the one written.  An entry older than the TTL is
+        deleted — :meth:`~repro.runtime.store.ArtifactStore.open_write` keeps
+        existing directories, so the re-audit could never land otherwise.
+        """
+        if not self.store.enabled:
+            return None
+        document = self.store.try_load(
+            VERDICT_KIND, key, lambda artifact: artifact.load_json("verdict")
+        )
+        if document is MISS:
+            return None
+        created = float(document.get("created", 0.0))
+        if self._expired(created):
+            with self._lock:
+                self.expirations += 1
+            self.store.delete(VERDICT_KIND, key)
+            return None
+        payload = document["payload"]
+        from repro.runtime.service import AuditVerdict
+
+        return AuditVerdict(
+            name=payload["name"],
+            backdoor_score=payload["backdoor_score"],
+            is_backdoored=payload["is_backdoored"],
+            prompted_accuracy=payload["prompted_accuracy"],
+            query_count=payload["query_count"],
+            query_calls=payload["query_calls"],
+        )
+
+    def _write_store(self, key: Dict[str, Any], verdict: Any) -> None:
+        if not self.store.enabled:
+            return
+        canonical = self._canonical_verdict(verdict)
+        with self.store.open_write(VERDICT_KIND, key) as artifact:
+            artifact.save_json(
+                "verdict",
+                {
+                    "format_version": VERDICT_CACHE_FORMAT_VERSION,
+                    "created": self.clock(),
+                    "key": dict(key),
+                    "payload": self._verdict_payload(canonical),
+                },
+            )
+
+    # -- dashboard -------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Hit/miss/dedup counters plus the memory tier's occupancy."""
+        with self._lock:
+            hits = self.memory_hits + self.store_hits + self.dedup_hits
+            total = hits + self.misses
+            return {
+                "enabled": self.enabled,
+                "memory_hits": self.memory_hits,
+                "store_hits": self.store_hits,
+                "dedup_hits": self.dedup_hits,
+                "misses": self.misses,
+                "hit_rate": (hits / total) if total else 0.0,
+                "inspections": self.inspections,
+                "entries": len(self._entries),
+                "memory_bytes": self.memory_bytes,
+                "max_bytes": self.max_bytes,
+                "ttl_seconds": self.ttl_seconds,
+                "evictions": self.evictions,
+                "expirations": self.expirations,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "enabled" if self.enabled else "disabled"
+        return (
+            f"VerdictCache({state}, entries={len(self._entries)}, "
+            f"memory={self.memory_bytes}B, hits="
+            f"{self.memory_hits}/{self.store_hits}/{self.dedup_hits}, "
+            f"misses={self.misses})"
+        )

@@ -386,6 +386,39 @@ class TestK201PrecisionKeyGuard:
         """)
 
 
+class TestK202VerdictKeyCoordinates:
+    def test_fires_when_digest_missing(self):
+        assert_fires("K202", """
+            def verdict_cache_key(fingerprint, precision):
+                return {"fingerprint": fingerprint, "precision": precision}
+        """)
+
+    def test_fires_when_precision_missing(self):
+        assert_fires("K202", """
+            def build_verdict_key(fingerprint, detector_digest):
+                key = {"fingerprint": fingerprint}
+                key["detector_digest"] = detector_digest
+                return key
+        """)
+
+    def test_quiet_with_all_coordinates(self):
+        assert_quiet("K202", """
+            def verdict_cache_key(fingerprint, detector_digest, precision):
+                return {
+                    "fingerprint": fingerprint,
+                    "detector_digest": detector_digest,
+                    "precision": precision,
+                }
+        """)
+
+    def test_quiet_on_keyless_helpers(self):
+        # a lookup helper that builds no payload is not a key builder
+        assert_quiet("K202", """
+            def verdict_key_hash(key):
+                return hash_payload(key)
+        """)
+
+
 # -- L-series: lock / exception hygiene ---------------------------------------
 
 
@@ -635,6 +668,6 @@ def test_rule_metadata_complete():
         assert rule.summary, f"{rule_id} has no summary"
 
 
-@pytest.mark.parametrize("family,expected", [("D", 6), ("P", 4), ("K", 4), ("L", 4)])
+@pytest.mark.parametrize("family,expected", [("D", 6), ("P", 4), ("K", 5), ("L", 4)])
 def test_family_sizes(family, expected):
     assert sum(1 for rule_id in RULES if rule_id[0] == family) == expected

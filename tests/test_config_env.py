@@ -27,6 +27,9 @@ ALL_ENV_KNOBS = (
     "REPRO_REGISTRY_LOCK_STALE",
     "REPRO_GATEWAY_MAX_IN_FLIGHT",
     "REPRO_PRECISION",
+    "REPRO_VERDICT_CACHE",
+    "REPRO_VERDICT_CACHE_BYTES",
+    "REPRO_VERDICT_CACHE_TTL",
 )
 
 
@@ -54,6 +57,9 @@ def test_every_knob_round_trips(monkeypatch, tmp_path):
     monkeypatch.setenv("REPRO_REGISTRY_LOCK_STALE", "90")
     monkeypatch.setenv("REPRO_GATEWAY_MAX_IN_FLIGHT", "8")
     monkeypatch.setenv("REPRO_PRECISION", "FLOAT32")  # case-folded
+    monkeypatch.setenv("REPRO_VERDICT_CACHE", "1")
+    monkeypatch.setenv("REPRO_VERDICT_CACHE_BYTES", "65536")
+    monkeypatch.setenv("REPRO_VERDICT_CACHE_TTL", "3600")
     runtime = RuntimeConfig.from_env()
     assert runtime == RuntimeConfig(
         workers=4,
@@ -68,12 +74,20 @@ def test_every_knob_round_trips(monkeypatch, tmp_path):
         registry_lock_stale=90.0,
         gateway_max_in_flight=8,
         precision="float32",
+        verdict_cache=True,
+        verdict_cache_bytes=65536,
+        verdict_cache_ttl=3600.0,
     )
 
 
 def test_empty_values_fall_back_to_defaults(monkeypatch):
     for name in ALL_ENV_KNOBS:
-        if name in ("REPRO_BACKEND", "REPRO_SHADOW_TRAINING", "REPRO_CACHE"):
+        if name in (
+            "REPRO_BACKEND",
+            "REPRO_SHADOW_TRAINING",
+            "REPRO_CACHE",
+            "REPRO_VERDICT_CACHE",
+        ):
             continue  # string knobs: empty is handled below / means unset
         monkeypatch.setenv(name, "")
     runtime = RuntimeConfig.from_env()
@@ -86,6 +100,9 @@ def test_empty_values_fall_back_to_defaults(monkeypatch):
     assert runtime.registry_lock_stale == 3600.0
     assert runtime.gateway_max_in_flight is None
     assert runtime.precision == "float64"
+    assert runtime.verdict_cache is False
+    assert runtime.verdict_cache_bytes is None
+    assert runtime.verdict_cache_ttl is None
 
 
 def test_cache_toggle(monkeypatch):
@@ -93,6 +110,13 @@ def test_cache_toggle(monkeypatch):
     assert RuntimeConfig.from_env().cache is False
     monkeypatch.setenv("REPRO_CACHE", "1")
     assert RuntimeConfig.from_env().cache is True
+
+
+def test_verdict_cache_toggle(monkeypatch):
+    monkeypatch.setenv("REPRO_VERDICT_CACHE", "0")
+    assert RuntimeConfig.from_env().verdict_cache is False
+    monkeypatch.setenv("REPRO_VERDICT_CACHE", "1")
+    assert RuntimeConfig.from_env().verdict_cache is True
 
 
 def test_single_shard_dir(monkeypatch, tmp_path):
@@ -107,6 +131,7 @@ def test_single_shard_dir(monkeypatch, tmp_path):
         "REPRO_MAX_IN_FLIGHT",
         "REPRO_REGISTRY_LRU_BYTES",
         "REPRO_GATEWAY_MAX_IN_FLIGHT",
+        "REPRO_VERDICT_CACHE_BYTES",
     ],
 )
 def test_malformed_integer_names_the_variable(monkeypatch, name):
@@ -115,7 +140,14 @@ def test_malformed_integer_names_the_variable(monkeypatch, name):
         RuntimeConfig.from_env()
 
 
-@pytest.mark.parametrize("name", ["REPRO_REGISTRY_LOCK_WAIT", "REPRO_REGISTRY_LOCK_STALE"])
+@pytest.mark.parametrize(
+    "name",
+    [
+        "REPRO_REGISTRY_LOCK_WAIT",
+        "REPRO_REGISTRY_LOCK_STALE",
+        "REPRO_VERDICT_CACHE_TTL",
+    ],
+)
 def test_malformed_float_names_the_variable(monkeypatch, name):
     monkeypatch.setenv(name, "soon")
     with pytest.raises(ValueError, match=name):
@@ -147,6 +179,14 @@ def test_out_of_range_values_fail_validation(monkeypatch):
     monkeypatch.setenv("REPRO_GATEWAY_MAX_IN_FLIGHT", "2")
     monkeypatch.setenv("REPRO_REGISTRY_LOCK_STALE", "0")
     with pytest.raises(ValueError, match="registry_lock_stale"):
+        RuntimeConfig.from_env()
+    monkeypatch.delenv("REPRO_REGISTRY_LOCK_STALE")
+    monkeypatch.setenv("REPRO_VERDICT_CACHE_BYTES", "-1")
+    with pytest.raises(ValueError, match="verdict_cache_bytes"):
+        RuntimeConfig.from_env()
+    monkeypatch.delenv("REPRO_VERDICT_CACHE_BYTES")
+    monkeypatch.setenv("REPRO_VERDICT_CACHE_TTL", "0")
+    with pytest.raises(ValueError, match="verdict_cache_ttl"):
         RuntimeConfig.from_env()
 
 
