@@ -17,6 +17,13 @@ a mixed vendor catalogue, then screens it twice:
   served from the fingerprint-keyed verdict cache for free).  Reports the
   cache hit-rate, the amortised queries-per-verdict and the warm-vs-cold
   verdicts/s speedup.
+* **worker-pool backends** — the same interleaved workload screened through a
+  ``gateway_backend="thread"`` and a ``gateway_backend="process"`` gateway
+  over one warm store (process workers hydrate the fitted detectors by
+  registry key — zero refits).  Verdicts must be **bit-identical** across
+  backends (exact float equality, not a tolerance), and the report carries
+  ``process_speedup`` plus ``cpu_count`` so the versioned baseline can gate
+  the multi-core win on runners that actually have the cores.
 
 Correctness is asserted on every run — gateway verdicts must match the
 per-tenant baseline to <= 1e-9 with identical labels, and cached verdicts
@@ -174,6 +181,52 @@ def main() -> None:
         assert verdict.name in by_tenant[verdict.tenant], verdict.name
     print(f"  gateway verdicts match per-tenant audits (max deviation {max_deviation:.2e})")
 
+    total_models = 2 * args.models
+    print("worker-pool backends (thread vs process, one warm store):")
+    backend_runs = {}
+    for backend_name in ("thread", "process"):
+        backend_runtime = runtime.with_overrides(
+            gateway_backend=backend_name, gateway_workers=args.workers
+        )
+        # a fresh registry over the same store: detectors warm-load, and the
+        # process pool's workers hydrate from the same artifacts by key
+        backend_registry = DetectorRegistry(runtime=backend_runtime)
+        with AuditGateway(
+            registry=backend_registry, max_in_flight=args.max_in_flight
+        ) as backend_gateway:
+            backend_gateway.register_tenant("tenant-a", spec_a, test_a, target_train, target_test)
+            backend_gateway.register_tenant("tenant-b", spec_b, test_b, target_train, target_test)
+            # fresh model copies per run: concurrent inspections must not share
+            # forward-pass state, and the process backend pickles each upload
+            workload = [(name, copy.deepcopy(model)) for name, model in submissions]
+            start = time.perf_counter()
+            verdicts = {v.name: v for v in backend_gateway.stream(workload)}
+            elapsed = time.perf_counter() - start
+            pool_stats = backend_gateway.stats()["worker_pool"]
+        backend_runs[backend_name] = (verdicts, elapsed)
+        print(
+            f"  {backend_name:7s} total {elapsed:8.2f}s "
+            f"({total_models / max(elapsed, 1e-9):.2f} verdicts/s, "
+            f"pool {pool_stats['workers']}x{pool_stats['backend']}, "
+            f"{pool_stats['tasks']} tasks)"
+        )
+    thread_verdicts, thread_s = backend_runs["thread"]
+    process_verdicts, process_s = backend_runs["process"]
+    assert set(thread_verdicts) == set(process_verdicts)
+    for name, thread_verdict in thread_verdicts.items():
+        process_verdict = process_verdicts[name]
+        # bit-identity, not a tolerance: hydration round-trips exactly and the
+        # per-key seed derivation is shared, so any drift is a real bug
+        assert process_verdict.backdoor_score == thread_verdict.backdoor_score, name
+        assert process_verdict.is_backdoored == thread_verdict.is_backdoored, name
+        assert process_verdict.query_count == thread_verdict.query_count, name
+    process_speedup = thread_s / max(process_s, 1e-9)
+    cpu_count = os.cpu_count() or 1
+    print(
+        f"  process verdicts bit-identical to thread; "
+        f"process speedup {process_speedup:.2f}x on {cpu_count} core(s)"
+    )
+
     merged = {**catalogue_a, **catalogue_b}
     submission_count = args.zipf_submissions
     if submission_count is None:
@@ -252,7 +305,6 @@ def main() -> None:
         f"(max deviation {warm_deviation:.2e}); cache speedup {cache_speedup:.2f}x"
     )
 
-    total_models = 2 * args.models
     results = {
         "benchmark": "gateway",
         "profile": profile.name,
@@ -273,6 +325,13 @@ def main() -> None:
         "gateway_verdicts_per_second": total_models / max(gateway_total_s, 1e-9),
         "max_score_deviation": max_deviation,
         "verdicts_match": True,
+        "cpu_count": cpu_count,
+        "thread_total_seconds": thread_s,
+        "process_total_seconds": process_s,
+        "thread_verdicts_per_second": total_models / max(thread_s, 1e-9),
+        "process_verdicts_per_second": total_models / max(process_s, 1e-9),
+        "process_speedup": process_speedup,
+        "process_verdicts_bit_identical": True,
         "zipf_submissions": submission_count,
         "zipf_exponent": args.zipf_exponent,
         "zipf_distinct_models": distinct,
@@ -300,6 +359,7 @@ def main() -> None:
         f"({cache_speedup:.2f}x), "
         f"{results['uncached_amortized_queries_per_verdict']:.1f} -> "
         f"{results['cached_amortized_queries_per_verdict']:.1f} queries/verdict; "
+        f"process backend {process_speedup:.2f}x on {cpu_count} core(s); "
         f"results written to {args.json}"
     )
     if scratch is not None:

@@ -13,6 +13,13 @@ past its baseline in the bad direction::
     direction "higher":  current < baseline * (1 - tolerance)   -> regression
     direction "lower":   current > baseline * (1 + tolerance)   -> regression
 
+A metric may carry a ``requires`` clause naming minimum values of *other*
+fields in the results file, e.g. ``{"cpu_count": 2}`` for a process-pool
+speedup that only a multi-core runner can demonstrate.  When the results
+don't meet the requirement the metric is reported as skipped rather than
+compared — the gate stays meaningful on 1-core smoke runners without going
+soft on real CI hardware.
+
 Run after the smoke benchmarks::
 
     PYTHONPATH=src python benchmarks/compare_baselines.py \
@@ -42,6 +49,15 @@ def compare_one(baseline_path: Path, results_dir: Path, tolerance: float, update
     results = json.loads(results_path.read_text())
     failures, lines = [], []
     for metric, spec in baseline["metrics"].items():
+        requires = spec.get("requires") or {}
+        unmet = [
+            f"{field} >= {minimum}"
+            for field, minimum in sorted(requires.items())
+            if float(results.get(field) or 0) < float(minimum)
+        ]
+        if unmet:
+            lines.append(f"  {metric}: skipped (requires {', '.join(unmet)})")
+            continue
         if metric not in results:
             failures.append(f"{baseline_path.name}: metric {metric!r} missing from results")
             continue

@@ -24,9 +24,19 @@ for the whole fleet:
   verdicts by model-weight fingerprint: resubmitting an already-audited
   model — the common case in redundant production traffic — is served from
   the cache with *zero* additional black-box queries;
+* inspections run on a shared **process-backed worker pool**
+  (``gateway_backend="process"``): pool workers hydrate each tenant's
+  detector from the artifact store by registry key — never refitting — so
+  the fleet uses every core while verdicts stay bit-identical to the
+  thread and serial paths;
+* a :class:`~repro.runtime.gateway.TenantProvisioner` stands tenants up on
+  **first touch**: when a brand-new model market shows up mid-stream, the
+  gateway derives the detector spec from the submission's metadata and fits
+  it through the registry's single-flight lock — exactly once, fleet-wide;
 * ``gateway.stats()`` closes the loop: per-tenant verdict counts, query
-  budgets, cache hit-rate, amortised queries-per-verdict, registry
-  hit/miss/evict counters and store statistics in one snapshot.
+  budgets, cache hit-rate, amortised queries-per-verdict, worker-pool task
+  counters, registry hit/miss/evict counters and store statistics in one
+  snapshot.
 
 Run with:  python examples/mlaas_audit.py
 """
@@ -44,7 +54,7 @@ from repro.datasets import load_dataset
 from repro.defenses import StripDefense
 from repro.defenses.base import triggered_and_clean_split
 from repro.models import build_classifier
-from repro.runtime import AuditGateway, DetectorRegistry, DetectorSpec
+from repro.runtime import AuditGateway, DetectorRegistry, DetectorSpec, TenantProvisioner
 
 
 def build_vendor_models(profile, architecture, source_train, seed=0):
@@ -93,11 +103,28 @@ def main() -> None:
         # the registry's store persists fitted detectors: re-pointing
         # cache_dir at a durable path makes every later gateway process stand
         # its tenants up with zero training
+        # the process backend dispatches inspections to a persistent pool of
+        # OS processes; workers warm-load detectors from this store by
+        # registry key (never refitting), so the fleet scales across cores
         runtime = RuntimeConfig(
-            workers=4, cache_dir=str(Path(scratch) / "store"), verdict_cache=True
+            workers=4,
+            cache_dir=str(Path(scratch) / "store"),
+            verdict_cache=True,
+            gateway_backend="process",
+            gateway_workers=2,
         )
         registry = DetectorRegistry(runtime=runtime)
-        with AuditGateway(registry=registry, max_in_flight=4) as gateway:
+        provisioner = TenantProvisioner(
+            reserved_clean=cifar_test,
+            target_train=target_train,
+            target_test=target_test,
+            template=DetectorSpec(
+                defense="bprom", profile=profile, architecture="resnet18", seed=0
+            ),
+        )
+        with AuditGateway(
+            registry=registry, max_in_flight=4, provisioner=provisioner
+        ) as gateway:
             print("standing up two tenants through the detector registry ...")
             start = time.perf_counter()
             cnn_tenant = gateway.register_tenant(
@@ -171,7 +198,44 @@ def main() -> None:
                 f"{warm_s * 1000:.1f}ms with 0 new queries"
             )
 
+            # a brand-new model market appears mid-stream: submissions route
+            # by architecture *family*, and no transformer tenant was ever
+            # registered — so the first mobilevit submission triggers the
+            # provisioner: the spec derives from the metadata, the fit goes
+            # through the registry's single-flight lock (exactly once even
+            # with racing gateways), and the verdict arrives as usual
+            print("\n--- first-touch auto-provisioning (new transformer market) ---")
+            vit = build_classifier(
+                "mobilevit", cifar_train.num_classes, profile.image_size,
+                rng=200, name="mobilevit-clean-0",
+            )
+            vit.fit(cifar_train, profile.classifier, rng=201)
+            start = time.perf_counter()
+            [fresh] = list(
+                gateway.stream(
+                    [(vit.name, vit, {"architecture": vit.architecture})],
+                    query_functions={vit.name: vit.predict_proba},
+                )
+            )
+            print(
+                f"{fresh.name:24s} routed to auto-provisioned tenant "
+                f"{fresh.tenant!r} in {time.perf_counter() - start:.2f}s "
+                f"(score {fresh.backdoor_score:.3f})"
+            )
+
             stats = gateway.stats()
+            pool_stats = stats["worker_pool"]
+            print(
+                f"\nworker pool: {pool_stats['backend']} backend x "
+                f"{pool_stats['workers']} workers, {pool_stats['tasks']} inspection "
+                f"tasks dispatched"
+            )
+            provisioned = sorted(
+                tenant_id
+                for tenant_id, tenant in stats["tenants"].items()
+                if tenant["provisioned"]
+            )
+            print(f"auto-provisioned tenants: {provisioned}")
             cache_stats = stats["verdict_cache"]
             print(
                 f"cache hit-rate {cache_stats['hit_rate']:.3f} "

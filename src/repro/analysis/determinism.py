@@ -46,6 +46,7 @@ _WALL_CLOCK = {
 _WALL_CLOCK_ALLOWLIST = (
     "repro/runtime/locks.py",
     "repro/runtime/sharding.py",
+    "repro/runtime/store.py",
     "repro/runtime/verdict_cache.py",
 )
 
@@ -154,8 +155,8 @@ class WallClockInComputation(Rule):
                     self,
                     call,
                     f"`{dotted}` feeds the current time into this module; only "
-                    "runtime/locks.py, runtime/sharding.py and "
-                    "runtime/verdict_cache.py may do wall-clock "
+                    "runtime/locks.py, runtime/sharding.py, runtime/store.py "
+                    "and runtime/verdict_cache.py may do wall-clock "
                     "arithmetic (use `time.perf_counter` for durations)",
                 )
 

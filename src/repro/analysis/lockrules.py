@@ -7,6 +7,13 @@ maintenance and stats sweeps know to skip it.  Separately, ``runtime/`` code
 that swallows broad exceptions can turn a real fault (a loader bug, a
 corrupted artifact) into silent cache-miss behaviour; broad handlers must
 propagate — re-raise, stash for a deferred raise, or surface via a future.
+
+The pool-dispatch layer (PR 9) adds a picklability invariant: process
+backends serialise submitted tasks by qualified name, so a closure, lambda
+or bound method handed to ``submit()``/``map()`` works on the thread backend
+and explodes the moment ``REPRO_GATEWAY_BACKEND=process`` is set.  L201
+keeps every ``runtime/`` task module-level so the backends stay
+interchangeable.
 """
 
 from __future__ import annotations
@@ -156,6 +163,90 @@ class LockPathOutsideLocksDir(Rule):
                     "`store.lock_path(...)` or a `LOCKS_DIRNAME` component so "
                     "stats/GC sweeps never mistake it for an artifact",
                 )
+
+
+@register
+class PoolTaskUnpicklable(Rule):
+    id = "L201"
+    name = "pool-task-unpicklable"
+    summary = (
+        "tasks handed to pool submit()/map() must be module-level callables; "
+        "closures, lambdas and bound methods break the process backend"
+    )
+
+    @staticmethod
+    def _enclosing_functions(module: LintModule, node: ast.AST) -> Iterator[ast.AST]:
+        for ancestor in module.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield ancestor
+
+    @staticmethod
+    def _lambda_names(scope: ast.AST) -> Iterator[str]:
+        """Names bound to a lambda inside ``scope`` (one level of Assign)."""
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Lambda):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        yield target.id
+
+    def _nested_callable_names(self, module: LintModule, call: ast.Call) -> set:
+        """Names at the call site that pickle cannot resolve by qualified name:
+        functions *defined inside* an enclosing function (closures) and any
+        lambda-assigned name (a lambda's qualname is ``<lambda>`` even at
+        module level)."""
+        names = set(self._lambda_names(module.tree))
+        for fn in self._enclosing_functions(module, call):
+            for node in ast.walk(fn):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if node is not fn:
+                        names.add(node.name)
+        return names
+
+    def check(self, module: LintModule) -> Iterable[Finding]:
+        if not _in_runtime(module):
+            return
+        for call in ast.walk(module.tree):
+            if not (
+                isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and call.func.attr in ("submit", "map")
+            ):
+                continue
+            if not call.args:
+                continue
+            task = call.args[0]
+            if isinstance(task, ast.Starred):
+                # `submit(*self._task(...))` — the tuple builder is the
+                # audited seam; nothing to resolve statically here
+                continue
+            if isinstance(task, ast.Lambda):
+                yield module.finding(
+                    self,
+                    task,
+                    "lambda submitted to a pool cannot be pickled by the "
+                    "process backend; hoist it to a module-level function",
+                )
+                continue
+            if isinstance(task, ast.Name):
+                if task.id in self._nested_callable_names(module, call):
+                    yield module.finding(
+                        self,
+                        task,
+                        f"`{task.id}` is a closure/lambda local to this "
+                        "function; process pools pickle tasks by qualified "
+                        "name — hoist it to module level",
+                    )
+                continue
+            if isinstance(task, ast.Attribute):
+                if module.canonical(task) is None:
+                    yield module.finding(
+                        self,
+                        task,
+                        f"`{ast.unparse(task)}` looks like a bound method; "
+                        "the process backend pickles the whole receiver (or "
+                        "fails outright) — submit a module-level function "
+                        "taking the object as an argument",
+                    )
 
 
 def _is_broad(handler: ast.ExceptHandler) -> bool:

@@ -319,6 +319,21 @@ class RuntimeConfig:
     #: :class:`~repro.runtime.gateway.AuditGateway`; ``None`` derives
     #: 2x ``workers`` at gateway construction
     gateway_max_in_flight: Optional[int] = None
+    #: executor backend of the gateway's shared tenant
+    #: :class:`~repro.runtime.workers.WorkerPool`: "thread" (default; shares
+    #: memory, relies on numpy releasing the GIL), "process" (true multi-core
+    #: parallelism; workers hydrate detectors from the shared store, so it
+    #: requires a persistent store) or "serial" (inline, for debugging)
+    gateway_backend: str = "thread"
+    #: worker count of the gateway's shared tenant pool; ``None`` falls back
+    #: to ``workers``
+    gateway_workers: Optional[int] = None
+    #: disk byte budget for ``fitted-detector`` artifacts in the store; when
+    #: set, a registry that just fitted a detector opportunistically evicts
+    #: the least-recently-used detectors down to this budget (under the
+    #: store's maintenance advisory lock, so multiple gateway nodes over one
+    #: sharded store can each run GC safely); ``None`` disables detector GC
+    detector_gc_bytes: Optional[int] = None
     #: training dtype tier for shadow pools and detectors ("float64" |
     #: "float32"); every artifact-store key derived from a non-default tier
     #: carries the precision, so the tiers never share cache entries
@@ -377,6 +392,19 @@ class RuntimeConfig:
             raise ValueError(
                 f"gateway_max_in_flight must be >= 1, got {self.gateway_max_in_flight}"
             )
+        if self.gateway_backend not in _RUNTIME_BACKENDS:
+            raise ValueError(
+                f"unknown gateway_backend {self.gateway_backend!r}; "
+                f"available: {_RUNTIME_BACKENDS}"
+            )
+        if self.gateway_workers is not None and self.gateway_workers < 1:
+            raise ValueError(
+                f"gateway_workers must be >= 1, got {self.gateway_workers}"
+            )
+        if self.detector_gc_bytes is not None and self.detector_gc_bytes < 0:
+            raise ValueError(
+                f"detector_gc_bytes must be >= 0, got {self.detector_gc_bytes}"
+            )
         object.__setattr__(self, "precision", str(self.precision).lower())
         if self.precision not in PRECISIONS:
             raise ValueError(
@@ -410,8 +438,10 @@ class RuntimeConfig:
         ``REPRO_MAX_IN_FLIGHT``, ``REPRO_SHADOW_TRAINING``,
         ``REPRO_REGISTRY_LRU_BYTES``, ``REPRO_REGISTRY_LOCK_WAIT``,
         ``REPRO_REGISTRY_LOCK_STALE``, ``REPRO_GATEWAY_MAX_IN_FLIGHT``,
-        ``REPRO_PRECISION``, ``REPRO_VERDICT_CACHE``,
-        ``REPRO_VERDICT_CACHE_BYTES`` and ``REPRO_VERDICT_CACHE_TTL``.
+        ``REPRO_GATEWAY_BACKEND``, ``REPRO_GATEWAY_WORKERS``,
+        ``REPRO_DETECTOR_GC_BYTES``, ``REPRO_PRECISION``,
+        ``REPRO_VERDICT_CACHE``, ``REPRO_VERDICT_CACHE_BYTES`` and
+        ``REPRO_VERDICT_CACHE_TTL``.
         ``REPRO_SHARD_DIRS`` is a list of shard roots separated by
         ``os.pathsep`` (``:`` on POSIX).  ``REPRO_VERDICT_CACHE=1`` turns
         verdict memoisation on (any other value leaves it off).  A malformed
@@ -433,6 +463,9 @@ class RuntimeConfig:
             registry_lock_wait=_env_float("REPRO_REGISTRY_LOCK_WAIT", 600.0),
             registry_lock_stale=_env_float("REPRO_REGISTRY_LOCK_STALE", 3600.0),
             gateway_max_in_flight=_env_int("REPRO_GATEWAY_MAX_IN_FLIGHT", None),
+            gateway_backend=os.environ.get("REPRO_GATEWAY_BACKEND", "thread"),
+            gateway_workers=_env_int("REPRO_GATEWAY_WORKERS", None),
+            detector_gc_bytes=_env_int("REPRO_DETECTOR_GC_BYTES", None),
             precision=os.environ.get("REPRO_PRECISION") or "float64",
             verdict_cache=os.environ.get("REPRO_VERDICT_CACHE", "0") == "1",
             verdict_cache_bytes=_env_int("REPRO_VERDICT_CACHE_BYTES", None),

@@ -31,6 +31,11 @@ The runtime layer turns the BPROM pipeline into a production-shaped system:
   persistence, TTL/refit invalidation and in-flight dedup (futures
   in-process, advisory locks across processes), amortising the query budget
   over redundant fleet traffic.
+* :class:`~repro.runtime.workers.WorkerPool` — the gateway's shared tenant
+  worker pool (thread / process / serial backends); process workers hydrate
+  detectors from the shared store through pickle-cheap
+  :class:`~repro.runtime.workers.DetectorRef` addresses — warm-loading,
+  never refitting — for true multi-core fleet throughput.
 
 See ARCHITECTURE.md at the repository root for the full design.
 """
@@ -56,6 +61,7 @@ __all__ = [
     "AuditJob",
     "AuditService",
     "AuditVerdict",
+    "DetectorRef",
     "DetectorRegistry",
     "DetectorSpec",
     "ExecutorSession",
@@ -67,7 +73,9 @@ __all__ = [
     "Stage",
     "StagedPipeline",
     "StageReport",
+    "TenantProvisioner",
     "VerdictCache",
+    "WorkerPool",
     "canonical_key",
     "dataset_fingerprint",
     "detector_digest",
@@ -88,6 +96,9 @@ _LAZY = {
     "RegistryEntry": "repro.runtime.registry",
     "AuditGateway": "repro.runtime.gateway",
     "GatewayVerdict": "repro.runtime.gateway",
+    "TenantProvisioner": "repro.runtime.gateway",
+    "DetectorRef": "repro.runtime.workers",
+    "WorkerPool": "repro.runtime.workers",
     "VerdictCache": "repro.runtime.verdict_cache",
     "model_fingerprint": "repro.runtime.verdict_cache",
     "verdict_cache_key": "repro.runtime.verdict_cache",

@@ -31,7 +31,7 @@ import threading
 import warnings
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, Optional, Tuple, Union
 
 from repro.config import DEFAULT_RUNTIME, RuntimeConfig
@@ -40,7 +40,7 @@ from repro.defenses.model_level import MNTDDefense
 from repro.models.classifier import ImageClassifier
 from repro.models.registry import architecture_family
 from repro.prompting.blackbox import QueryFunction
-from repro.runtime.executor import ParallelExecutor
+from repro.runtime.executor import ExecutorSession, ParallelExecutor
 from repro.runtime.registry import DetectorRegistry, DetectorSpec, RegistryEntry
 from repro.runtime.service import AuditVerdict
 from repro.runtime.service_async import (
@@ -52,6 +52,12 @@ from repro.runtime.service_async import (
 from repro.runtime.sharding import ShardedArtifactStore
 from repro.runtime.store import dataset_fingerprint
 from repro.runtime.verdict_cache import VerdictCache
+from repro.runtime.workers import (
+    DetectorRef,
+    WorkerPool,
+    _mntd_audit_task,
+    _ref_mntd_audit_task,
+)
 
 
 @dataclass
@@ -59,19 +65,6 @@ class GatewayVerdict(AuditVerdict):
     """An :class:`AuditVerdict` annotated with the tenant that produced it."""
 
     tenant: str = ""
-
-
-def _mntd_audit_task(
-    defense: MNTDDefense, clean_data: ImageDataset, key: str, model: ImageClassifier
-) -> AuditVerdict:
-    """Module-level task wrapper so process-backend executors can pickle it."""
-    score = float(defense.score_model(model, clean_data))
-    return AuditVerdict(
-        name=key,
-        backdoor_score=score,
-        is_backdoored=score >= defense.threshold,
-        prompted_accuracy=float("nan"),
-    )
 
 
 class _MNTDAuditService(SessionLifecycleMixin):
@@ -88,11 +81,21 @@ class _MNTDAuditService(SessionLifecycleMixin):
         defense: MNTDDefense,
         clean_data: ImageDataset,
         runtime: Optional[RuntimeConfig] = None,
+        detector_ref: Optional[DetectorRef] = None,
+        session: Optional[ExecutorSession] = None,
     ) -> None:
         self.detector = defense
         self.clean_data = clean_data
+        self.detector_ref = detector_ref
         self.executor = ParallelExecutor.from_config(runtime)
-        self._init_session()
+        self._init_session(shared=session)
+
+    def _task(self, key: str, model: ImageClassifier) -> tuple:
+        """The ``(fn, *args)`` tuple one MNTD scoring submits (ref shape for
+        process backends, detector shape otherwise)."""
+        if self.detector_ref is not None:
+            return (_ref_mntd_audit_task, self.detector_ref, self.clean_data, key, model)
+        return (_mntd_audit_task, self.detector, self.clean_data, key, model)
 
     def submit(
         self,
@@ -120,14 +123,10 @@ class _MNTDAuditService(SessionLifecycleMixin):
                 verdict_cache,
                 cache_key,
                 key,
-                _mntd_audit_task,
-                self.detector,
-                self.clean_data,
-                key,
-                model,
+                *self._task(key, model),
             )
         else:
-            future = session.submit(_mntd_audit_task, self.detector, self.clean_data, key, model)
+            future = session.submit(*self._task(key, model))
         return AuditJob(key=key, future=future)
 
     def reap(self, job: AuditJob) -> None:
@@ -154,6 +153,9 @@ class Tenant:
     cache_hits: int = 0
     #: verdicts that shared a concurrent submission's inspection
     dedup_hits: int = 0
+    #: whether this tenant was auto-provisioned on first touch rather than
+    #: registered explicitly
+    provisioned: bool = False
 
     @property
     def defense(self) -> str:
@@ -162,6 +164,43 @@ class Tenant:
     @property
     def family(self) -> str:
         return self.spec.family
+
+
+@dataclass
+class TenantProvisioner:
+    """Datasets plus a spec template for standing tenants up on first touch.
+
+    Without a provisioner, an unroutable submission raises ``KeyError``.
+    With one, the gateway derives a :class:`DetectorSpec` from the
+    submission's metadata (architecture, and defense when given; everything
+    else from ``template``) and registers the tenant on the spot — the fit
+    goes through :meth:`DetectorRegistry.get_or_fit`, so N racing gateways
+    (threads or whole processes over one store) provisioning the same spec
+    still perform exactly one fit under the registry's single-flight lock.
+    """
+
+    #: the suspicious task's reserved clean data every provisioned tenant
+    #: answers for (BPROM's D_S / MNTD's shadow-pool data)
+    reserved_clean: ImageDataset
+    #: BPROM target-domain datasets; a bprom template requires both
+    target_train: Optional[ImageDataset] = None
+    target_test: Optional[ImageDataset] = None
+    #: defaults for every spec field the metadata does not override
+    template: DetectorSpec = field(default_factory=DetectorSpec)
+
+    def spec_for(self, metadata: Dict[str, Any]) -> DetectorSpec:
+        """The detector spec a submission's metadata asks for."""
+        overrides: Dict[str, Any] = {}
+        if metadata.get("defense"):
+            overrides["defense"] = metadata["defense"]
+        if metadata.get("architecture"):
+            overrides["architecture"] = metadata["architecture"]
+        return self.template.with_overrides(**overrides) if overrides else self.template
+
+    @staticmethod
+    def tenant_id_for(spec: DetectorSpec) -> str:
+        """Deterministic id, so racing gateways converge on one tenant."""
+        return f"auto-{spec.defense}-{spec.architecture}"
 
 
 #: one submission: ``(key, model)`` or ``(key, model, metadata)``
@@ -193,11 +232,33 @@ class AuditGateway:
         runtime: Optional[RuntimeConfig] = None,
         max_in_flight: Optional[int] = None,
         verdict_cache: Optional[VerdictCache] = None,
+        provisioner: Optional[TenantProvisioner] = None,
+        worker_pool: Optional[WorkerPool] = None,
     ) -> None:
         if runtime is None:
             runtime = registry.runtime if registry is not None else DEFAULT_RUNTIME
         self.runtime = runtime
         self.registry = registry if registry is not None else DetectorRegistry(runtime=runtime)
+        if worker_pool is None:
+            backend = runtime.gateway_backend
+            if backend == "process" and not self.registry.store.enabled:
+                # process workers hydrate detectors from the shared store by
+                # registry key; without a store they could only refit, which
+                # the warm-loading contract forbids
+                warnings.warn(
+                    "gateway_backend='process' requires a persistent artifact "
+                    "store for worker-side detector hydration; falling back to "
+                    "the thread backend"
+                )
+                backend = "thread"
+            worker_pool = WorkerPool(
+                workers=runtime.gateway_workers or runtime.workers, backend=backend
+            )
+        #: the shared tenant worker pool every service submits through
+        self.worker_pool = worker_pool
+        #: auto-provisioning policy; ``None`` keeps unroutable submissions an error
+        self.provisioner = provisioner
+        self._provision_lock = threading.Lock()
         if verdict_cache is None and runtime.verdict_cache:
             # share the registry's (possibly sharded) store so cached verdicts
             # live beside the detectors that produced them
@@ -242,13 +303,34 @@ class AuditGateway:
         for dataset in (target_train, target_test):
             if dataset is not None:
                 fingerprints.append(dataset_fingerprint(dataset))
+        ref = None
+        if self.worker_pool.backend == "process":
+            # tasks ship this store address instead of the detector object;
+            # workers hydrate by registry key (register_tenant just ensured
+            # the artifact exists) under a serial single-worker runtime so
+            # hydration never opens a nested pool
+            ref = DetectorRef(
+                key_hash=entry.key_hash,
+                key=entry.key,
+                spec=spec,
+                runtime=self.runtime.with_overrides(workers=1, backend="serial"),
+            )
+        session = self.worker_pool.session()
         if spec.defense == "mntd":
             service: Union[AsyncAuditService, _MNTDAuditService] = _MNTDAuditService(
-                entry.detector, reserved_clean, runtime=self.runtime
+                entry.detector,
+                reserved_clean,
+                runtime=self.runtime,
+                detector_ref=ref,
+                session=session,
             )
         else:
             service = AsyncAuditService(
-                entry.detector, runtime=self.runtime, max_in_flight=self.max_in_flight
+                entry.detector,
+                runtime=self.runtime,
+                max_in_flight=self.max_in_flight,
+                detector_ref=ref,
+                session=session,
             )
         tenant = Tenant(
             tenant_id=tenant_id,
@@ -323,6 +405,43 @@ class AuditGateway:
             f"coordinate (e.g. 'tenant' or 'dataset_fingerprint')"
         )
 
+    # -- auto-provisioning -----------------------------------------------------
+    def _route_or_provision(self, metadata: Dict[str, Any]) -> Tenant:
+        """Route a submission, standing a tenant up on first touch if allowed.
+
+        Only a *zero-match* miss provisions; an explicit ``tenant`` pin that
+        names an unknown tenant stays an error (the submitter asked for a
+        specific tenant, not for a new one), and an ambiguous match still
+        raises ``ValueError`` — provisioning never resolves ambiguity.
+        """
+        try:
+            return self.route(metadata)
+        except KeyError:
+            if self.provisioner is None or "tenant" in metadata:
+                raise
+        return self._provision(metadata)
+
+    def _provision(self, metadata: Dict[str, Any]) -> Tenant:
+        spec = self.provisioner.spec_for(metadata)
+        tenant_id = self.provisioner.tenant_id_for(spec)
+        # one provisioning at a time in this gateway; racing *gateways* are
+        # serialised further down by the registry's advisory fit lock (they
+        # each register their own tenant object, but fit at most once)
+        with self._provision_lock:
+            with self._lock:
+                existing = self._tenants.get(tenant_id)
+            if existing is not None:
+                return existing
+            tenant = self.register_tenant(
+                tenant_id,
+                spec,
+                self.provisioner.reserved_clean,
+                self.provisioner.target_train,
+                self.provisioner.target_test,
+            )
+        tenant.provisioned = True
+        return tenant
+
     # -- submission ------------------------------------------------------------
     def _default_metadata(self, model: ImageClassifier) -> Dict[str, Any]:
         return {"architecture": getattr(model, "architecture", None)}
@@ -335,7 +454,9 @@ class AuditGateway:
         query_function: Optional[QueryFunction],
     ) -> AuditJob:
         """Submit one job; the caller has already acquired a budget slot."""
-        tenant = self.route(metadata if metadata is not None else self._default_metadata(model))
+        tenant = self._route_or_provision(
+            metadata if metadata is not None else self._default_metadata(model)
+        )
         job = tenant.service.submit(key, model, query_function=query_function)
         with self._lock:
             self._pending[job.future] = (tenant.tenant_id, job)
@@ -393,7 +514,9 @@ class AuditGateway:
         dedup followers short-circuit the ``max_in_flight`` semaphore).
         """
         cache = self.verdict_cache
-        tenant = self.route(metadata if metadata is not None else self._default_metadata(model))
+        tenant = self._route_or_provision(
+            metadata if metadata is not None else self._default_metadata(model)
+        )
         cache_key = cache.key_for(model, tenant.entry.key_hash, tenant.spec.precision)
         verdict = cache.lookup(cache_key, key)
         if verdict is not None:
@@ -670,6 +793,7 @@ class AuditGateway:
                     "query_calls": tenant.query_calls,
                     "cache_hits": tenant.cache_hits,
                     "dedup_hits": tenant.dedup_hits,
+                    "provisioned": tenant.provisioned,
                     "amortized_queries_per_verdict": amortized(
                         tenant.query_count, tenant.accepted + tenant.rejected
                     ),
@@ -687,15 +811,21 @@ class AuditGateway:
                 self.verdict_cache.stats() if self.verdict_cache is not None else None
             ),
             "amortized_queries_per_verdict": amortized(fleet_queries, fleet_verdicts),
+            "worker_pool": self.worker_pool.stats(),
             "in_flight": in_flight,
             "max_in_flight": self.max_in_flight,
         }
 
     # -- lifecycle -------------------------------------------------------------
     def close(self) -> None:
-        """Shut every tenant's service down (draining their outstanding jobs)."""
+        """Shut every tenant's service down, then the shared worker pool.
+
+        Tenant services first: they only close sessions they *own* (the
+        shared pool session is the gateway's), then the pool drain waits for
+        every outstanding task."""
         for tenant in self.tenants.values():
             tenant.service.close()
+        self.worker_pool.close()
 
     def __enter__(self) -> "AuditGateway":
         return self

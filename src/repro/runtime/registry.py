@@ -48,7 +48,7 @@ from repro.core.detector import BpromDetector
 from repro.datasets.base import ImageDataset
 from repro.defenses.model_level import MNTDDefense
 from repro.models.registry import architecture_family
-from repro.runtime.locks import AdvisoryLock
+from repro.runtime.locks import AdvisoryLock, LockTimeout
 from repro.runtime.pipeline import StageReport
 from repro.runtime.store import MISS, Artifact, ArtifactStore, dataset_fingerprint, key_hash
 
@@ -126,6 +126,10 @@ class RegistryEntry:
     #: stage execution records: the detector's own pipeline reports for a
     #: fresh fit, or a single synthetic all-cached record for a store load
     stage_reports: List[StageReport] = field(default_factory=list)
+    #: the full :func:`registry_key` payload this entry was resolved under —
+    #: what a :class:`~repro.runtime.workers.DetectorRef` ships to process
+    #: workers so they can hydrate the same artifact from the shared store
+    key: Optional[Dict[str, Any]] = None
 
     @property
     def trained(self) -> bool:
@@ -159,6 +163,22 @@ def registry_key(
     if spec.precision != "float64":
         key["precision"] = spec.precision
     return key
+
+
+def load_detector_artifact(artifact: Artifact, spec: DetectorSpec, runtime: RuntimeConfig) -> Any:
+    """Reconstruct a fitted detector from its store artifact.
+
+    Module-level so process-pool workers (:mod:`repro.runtime.workers`) can
+    hydrate detectors without carrying a registry instance; the registry's own
+    store loads go through the same code, which is what makes a worker-side
+    hydration bit-identical to an in-process store hit.
+    """
+    if spec.defense == "mntd":
+        return MNTDDefense.load(artifact.directory)
+    return BpromDetector.load(
+        artifact.directory,
+        runtime=runtime.with_overrides(precision=spec.precision),
+    )
 
 
 def _arrays_nbytes(arrays: Dict[str, Any]) -> int:
@@ -239,6 +259,8 @@ class DetectorRegistry:
         self.fits = 0
         #: entries dropped to respect the byte budget
         self.evictions = 0
+        #: store artifacts evicted by :meth:`maybe_gc` (disk budget)
+        self.gc_evictions = 0
 
     # -- LRU ------------------------------------------------------------------
     @property
@@ -287,12 +309,7 @@ class DetectorRegistry:
         artifact.save_json("registry", {"defense": spec.defense})
 
     def _load_detector(self, artifact: Artifact, spec: DetectorSpec) -> Any:
-        if spec.defense == "mntd":
-            return MNTDDefense.load(artifact.directory)
-        return BpromDetector.load(
-            artifact.directory,
-            runtime=self.runtime.with_overrides(precision=spec.precision),
-        )
+        return load_detector_artifact(artifact, spec, self.runtime)
 
     # -- fitting --------------------------------------------------------------
     def _fit(
@@ -365,6 +382,9 @@ class DetectorRegistry:
                 return None
             with self._lock:
                 self.store_hits += 1
+            # stamp last-use so the disk-budget GC's LRU never evicts a
+            # detector that is actively being served
+            self.store.touch(DETECTOR_KIND, key)
             return RegistryEntry(
                 key_hash=digest,
                 spec=spec,
@@ -374,6 +394,7 @@ class DetectorRegistry:
                 stage_reports=[
                     StageReport(DETECTOR_KIND, True, time.perf_counter() - start)
                 ],
+                key=key,
             )
 
         if self.store.enabled:
@@ -420,6 +441,10 @@ class DetectorRegistry:
                         self.fits += 1
                     with self.store.open_write(DETECTOR_KIND, key) as artifact:
                         self._save_detector(artifact, spec, detector)
+                    # a fresh fit grew the store: opportunistically collect
+                    # down to the disk budget while still holding this key's
+                    # lock (which makes the just-written artifact immune)
+                    self.maybe_gc()
                     entry = RegistryEntry(
                         key_hash=digest,
                         spec=spec,
@@ -427,6 +452,7 @@ class DetectorRegistry:
                         source="fit",
                         nbytes=detector_nbytes(detector),
                         stage_reports=reports,
+                        key=key,
                     )
         else:
             # no shared store: fall back to an in-process fit (the LRU still
@@ -441,9 +467,36 @@ class DetectorRegistry:
                 source="fit",
                 nbytes=detector_nbytes(detector),
                 stage_reports=reports,
+                key=key,
             )
         self._insert(entry)
         return entry
+
+    # -- disk-budget maintenance ----------------------------------------------
+    def maybe_gc(
+        self, grace_seconds: Optional[float] = None
+    ) -> Optional[Dict[str, int]]:
+        """One opportunistic fitted-detector GC pass, if a budget is set.
+
+        Non-blocking on the store's maintenance lock: when another node over
+        the same (sharded) store is already collecting, this pass simply
+        yields to it — the budget is eventually enforced either way.  Returns
+        the eviction statistics, or ``None`` when GC is disabled (no
+        ``detector_gc_bytes``, store off) or skipped (lock contended).
+        """
+        budget = self.runtime.detector_gc_bytes
+        if budget is None or not self.store.enabled:
+            return None
+        kwargs: Dict[str, Any] = {"lock_wait_seconds": 0.0}
+        if grace_seconds is not None:
+            kwargs["grace_seconds"] = grace_seconds
+        try:
+            result = self.store.gc_kind(DETECTOR_KIND, max_bytes=budget, **kwargs)
+        except LockTimeout:
+            return None
+        with self._lock:
+            self.gc_evictions += result["evicted"]
+        return result
 
     def stats(self) -> Dict[str, Any]:
         """Serving counters: the registry panel of the gateway dashboard."""
@@ -453,6 +506,7 @@ class DetectorRegistry:
                 "store_hits": self.store_hits,
                 "fits": self.fits,
                 "evictions": self.evictions,
+                "gc_evictions": self.gc_evictions,
                 "loaded": len(self._entries),
                 "loaded_bytes": sum(e.nbytes for e in self._entries.values()),
                 "lru_bytes": self.lru_bytes,

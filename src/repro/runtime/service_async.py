@@ -29,9 +29,10 @@ from __future__ import annotations
 import threading
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, wait
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Set, Union
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
 
 from repro.config import RuntimeConfig
 from repro.core.detector import BpromDetector
@@ -40,24 +41,7 @@ from repro.models.classifier import ImageClassifier
 from repro.runtime.executor import ExecutorSession, ParallelExecutor
 from repro.runtime.service import AuditVerdict, resolve_executor
 from repro.runtime.verdict_cache import VerdictCache, detector_digest
-
-
-def _audit_task(
-    detector: BpromDetector,
-    key: str,
-    model: ImageClassifier,
-    query_function: Optional[QueryFunction],
-) -> AuditVerdict:
-    """Module-level task wrapper so process-backend executors can pickle it."""
-    result = detector.inspect(model, query_function=query_function, seed_key=key)
-    return AuditVerdict(
-        name=key,
-        backdoor_score=result.backdoor_score,
-        is_backdoored=result.is_backdoored,
-        prompted_accuracy=result.prompted_accuracy,
-        query_count=result.query_count,
-        query_calls=result.query_calls,
-    )
+from repro.runtime.workers import DetectorRef, _audit_task, _ref_audit_task
 
 
 def _cached_audit_task(cache: VerdictCache, cache_key, name: str, task, *args) -> AuditVerdict:
@@ -96,16 +80,24 @@ class SessionLifecycleMixin:
     each open a pool — stays alive across submissions, and :meth:`close`
     drains it.  Hosts expose an ``executor`` attribute and call
     :meth:`_init_session` from their constructor.
+
+    Alternatively a host is handed a *shared* session (the gateway's
+    :class:`~repro.runtime.workers.WorkerPool` serves one session to every
+    tenant): then no session of our own is ever opened and :meth:`close`
+    leaves the shared pool alone — its owner closes it.
     """
 
     executor: "ParallelExecutor"
 
-    def _init_session(self) -> None:
+    def _init_session(self, shared: Optional[ExecutorSession] = None) -> None:
         self._session: Optional[ExecutorSession] = None
         self._session_cm = None
+        self._session_shared = shared
         self._session_lock = threading.Lock()
 
     def _ensure_session(self) -> ExecutorSession:
+        if self._session_shared is not None:
+            return self._session_shared
         with self._session_lock:
             if self._session is None:
                 self._session_cm = self.executor.session()
@@ -113,7 +105,8 @@ class SessionLifecycleMixin:
             return self._session
 
     def close(self) -> None:
-        """Drain outstanding jobs and shut the worker pool down."""
+        """Drain outstanding jobs and shut the worker pool down (owned
+        sessions only — a shared session belongs to its pool)."""
         if self._session_cm is not None:
             try:
                 self._session_cm.__exit__(None, None, None)
@@ -152,8 +145,14 @@ class AsyncAuditService(SessionLifecycleMixin):
         runtime: Optional[RuntimeConfig] = None,
         max_in_flight: Optional[int] = None,
         verdict_cache: Optional[VerdictCache] = None,
+        detector_ref: Optional[DetectorRef] = None,
+        session: Optional[ExecutorSession] = None,
     ) -> None:
         self.detector = detector
+        #: when set, tasks ship this pickle-cheap store address instead of
+        #: the detector object — process-pool workers hydrate from the shared
+        #: store (:func:`repro.runtime.workers.resolve_detector`)
+        self.detector_ref = detector_ref
         self.executor = resolve_executor(detector, runtime)
         if verdict_cache is None and runtime is not None and runtime.verdict_cache:
             verdict_cache = VerdictCache(runtime=runtime)
@@ -170,7 +169,7 @@ class AsyncAuditService(SessionLifecycleMixin):
         if max_in_flight < 1:
             raise ValueError(f"max_in_flight must be >= 1, got {max_in_flight}")
         self.max_in_flight = int(max_in_flight)
-        self._init_session()
+        self._init_session(shared=session)
         #: submitted jobs awaiting :meth:`as_completed`; retained until drained
         self._jobs: Dict[Future, AuditJob] = {}
         #: futures still computing — maintained by done-callbacks so
@@ -197,6 +196,19 @@ class AsyncAuditService(SessionLifecycleMixin):
 
     # session lifecycle (_ensure_session/close/context manager) comes from
     # SessionLifecycleMixin
+
+    def _task(
+        self, key: str, model: ImageClassifier, query_function: Optional[QueryFunction]
+    ) -> Tuple:
+        """The ``(fn, *args)`` tuple one audit submits to the executor.
+
+        Both shapes are module-level callables (process backends pickle tasks
+        by qualified name); the ref shape additionally keeps the *arguments*
+        pickle-cheap by shipping a store address instead of the detector.
+        """
+        if self.detector_ref is not None:
+            return (_ref_audit_task, self.detector_ref, key, model, query_function)
+        return (_audit_task, self.detector, key, model, query_function)
 
     # -- job queue ------------------------------------------------------------
     @property
@@ -244,14 +256,10 @@ class AsyncAuditService(SessionLifecycleMixin):
                     verdict_cache,
                     cache_key,
                     key,
-                    _audit_task,
-                    self.detector,
-                    key,
-                    model,
-                    query_function,
+                    *self._task(key, model, query_function),
                 )
             else:
-                future = session.submit(_audit_task, self.detector, key, model, query_function)
+                future = session.submit(*self._task(key, model, query_function))
         except BaseException:
             self._slots.release()
             raise
@@ -318,11 +326,7 @@ class AsyncAuditService(SessionLifecycleMixin):
                 cache,
                 cache_key,
                 key,
-                _audit_task,
-                self.detector,
-                key,
-                model,
-                query_function,
+                *self._task(key, model, query_function),
             )
         except BaseException as exc:
             self._slots.release()
@@ -395,7 +399,14 @@ class AsyncAuditService(SessionLifecycleMixin):
         precision = getattr(getattr(self.detector, "runtime", None), "precision", "float64")
         backlog = deque(catalogue.items())
         warm: deque = deque()  # cache hits awaiting yield, in submission order
-        with self.executor.session() as session:
+        # a shared (gateway worker-pool) session outlives this stream, so it
+        # must not be closed on exit; an owned session opens per call
+        session_scope = (
+            nullcontext(self._session_shared)
+            if self._session_shared is not None
+            else self.executor.session()
+        )
+        with session_scope as session:
             pending: Dict[Future, str] = {}
             # a poolless session runs each submit inline, so a wider window
             # would audit max_in_flight models before the first yield —
@@ -420,16 +431,10 @@ class AsyncAuditService(SessionLifecycleMixin):
                             cache,
                             cache_key,
                             key,
-                            _audit_task,
-                            self.detector,
-                            key,
-                            model,
-                            query_function,
+                            *self._task(key, model, query_function),
                         )
                     else:
-                        future = session.submit(
-                            _audit_task, self.detector, key, model, query_function
-                        )
+                        future = session.submit(*self._task(key, model, query_function))
                     pending[future] = key
 
             while backlog or pending or warm:

@@ -32,9 +32,9 @@ import uuid
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.runtime.locks import DEFAULT_STALE_SECONDS, DEFAULT_WAIT_SECONDS, AdvisoryLock
 from repro.runtime.store import (
     _MANIFEST,
+    DEFAULT_GRACE_SECONDS,
     LOCKS_DIRNAME,
     MISS,
     Artifact,
@@ -42,10 +42,6 @@ from repro.runtime.store import (
     PathLike,
     key_hash,
 )
-
-#: a temp directory younger than this is presumed to belong to a live writer
-#: and is never collected or migrated by the maintenance passes
-DEFAULT_GRACE_SECONDS = 300.0
 
 
 class ShardedArtifactStore(ArtifactStore):
@@ -190,21 +186,35 @@ class ShardedArtifactStore(ArtifactStore):
                     yield kind_dir.name, artifact_dir
 
     # -- maintenance ----------------------------------------------------------
-    def maintenance_lock(
-        self,
-        wait_seconds: float = DEFAULT_WAIT_SECONDS,
-        stale_seconds: float = DEFAULT_STALE_SECONDS,
-    ) -> AdvisoryLock:
-        """The advisory lock serialising maintenance passes on this store.
+    # maintenance_lock is inherited: the sharded store's root *is* its first
+    # shard, which every process sharing the shard list agrees on.  Registry
+    # writers do not take this lock — in-flight ``open_write`` temp
+    # directories are instead protected by the maintenance grace period.
 
-        It lives on the *first* shard, which every process sharing the shard
-        list agrees on regardless of list order changes mid-rebalance being
-        undefined anyway.  Registry writers do not take this lock — in-flight
-        ``open_write`` temp directories are instead protected by the
-        maintenance grace period (young temp dirs are never touched).
+    def touch(self, kind: str, key: Any) -> bool:
+        """Stamp every shard's copy (reads fall through, so any may serve)."""
+        touched = False
+        for shard in self.shards:
+            touched = shard.touch(kind, key) or touched
+        return touched
+
+    def _gc_candidates(self, kind: str) -> Iterator[Tuple[Path, Path]]:
+        """All shards' ``kind`` artifacts, each with its *home-shard* lock path.
+
+        The lock must live on the home shard regardless of which shard
+        currently holds the artifact (a pre-rebalance stray included):
+        fitters and single-flight loaders compute their per-key lock through
+        :meth:`lock_path`, which resolves to the home shard — GC must check
+        the same file or it would evict out from under a live holder.
         """
-        path = Path(self.shards[0].root) / LOCKS_DIRNAME / "maintenance.lock"
-        return AdvisoryLock(path, stale_seconds=stale_seconds, wait_seconds=wait_seconds)
+        for shard in self.shards:
+            for artifact_dir, _ in ArtifactStore._gc_candidates(shard, kind):
+                home = int(artifact_dir.name, 16) % len(self.shards)
+                yield artifact_dir, (
+                    Path(self.shards[home].root)
+                    / LOCKS_DIRNAME
+                    / f"{kind}-{artifact_dir.name}.lock"
+                )
 
     @staticmethod
     def _in_grace(path: Path, grace_seconds: float) -> bool:

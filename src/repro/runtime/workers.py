@@ -1,0 +1,270 @@
+"""Tenant worker pools: the gateway's shared dispatch layer, process-capable.
+
+The per-tenant services (:class:`~repro.runtime.service_async.AsyncAuditService`
+and the gateway's MNTD sibling) used to each own a thread pool, so gateway
+throughput was capped by the GIL plus whatever BLAS releases.  This module
+provides the layer that turns "scales within one process" into "scales with
+the machine":
+
+* :class:`WorkerPool` — one persistent executor shared by every tenant of an
+  :class:`~repro.runtime.gateway.AuditGateway`, with a ``"thread"`` (default),
+  ``"process"`` (true multi-core) or ``"serial"`` (inline) backend.  Tenant
+  services submit through its shared
+  :class:`~repro.runtime.executor.ExecutorSession` instead of opening pools of
+  their own.
+* :class:`DetectorRef` — a pickle-cheap address of one fitted detector: the
+  :func:`~repro.runtime.registry.registry_key` payload plus the spec and a
+  runtime describing the shared store.  Process backends ship the *ref*, not
+  the detector.
+* :func:`resolve_detector` — worker-side hydration: the first task referencing
+  a detector loads it from the shared (sharded) store by registry key —
+  **warm-loading, never refitting** — and caches it in the worker process, so
+  every later task on that worker serves from memory.
+
+Every task function here is module-level: process backends pickle tasks by
+qualified name, so closures, lambdas and bound methods would fail at submit
+time (repro-lint L201 guards this invariant across ``repro/runtime``).
+
+Determinism: a hydrated detector round-trips with bit-identical scores
+(the PR 1 save/load contract), the per-task seed still derives from the
+catalogue key inside ``detector.inspect(seed_key=...)``, and query accounting
+travels inside the pickled verdict — so process-backend verdicts are
+bit-identical to the thread/serial backends.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.config import RuntimeConfig
+from repro.datasets.base import ImageDataset
+from repro.defenses.model_level import MNTDDefense
+from repro.models.classifier import ImageClassifier
+from repro.prompting.blackbox import QueryFunction
+from repro.runtime.executor import ExecutorSession
+from repro.runtime.registry import DETECTOR_KIND, DetectorSpec, load_detector_artifact
+from repro.runtime.service import AuditVerdict
+from repro.runtime.store import MISS, ArtifactStore
+
+
+@dataclass(frozen=True)
+class DetectorRef:
+    """A store address of one fitted detector, cheap to pickle to workers.
+
+    ``runtime`` describes how a worker reaches the shared store (cache/shard
+    roots) and hydrates — the gateway hands out a serial, single-worker
+    override so hydration inside a pool worker never opens a nested pool.
+    """
+
+    key_hash: str
+    key: Dict[str, Any] = field(repr=False)
+    spec: DetectorSpec = field(repr=False)
+    runtime: RuntimeConfig = field(repr=False)
+
+
+#: per-process hydrated-detector cache: key_hash -> detector.  Lives at module
+#: level so every task dispatched to one worker process shares it; with the
+#: fork start method a detector already hydrated in the parent is inherited.
+_HYDRATED: Dict[str, Any] = {}
+_HYDRATE_LOCK = threading.Lock()
+
+
+def resolve_detector(ref: DetectorRef) -> Any:
+    """The fitted detector a ref addresses, hydrated at most once per process.
+
+    Warm-loading only: the artifact must already exist in the shared store
+    (the gateway's ``register_tenant`` fitted-or-loaded it before any task
+    could reference it), so a miss here is an environment error — e.g. a
+    worker pointed at the wrong store — and never triggers a refit.
+    """
+    with _HYDRATE_LOCK:
+        detector = _HYDRATED.get(ref.key_hash)
+        if detector is not None:
+            return detector
+        store = ArtifactStore.from_config(ref.runtime)
+        detector = store.try_load(
+            DETECTOR_KIND,
+            ref.key,
+            lambda artifact: load_detector_artifact(artifact, ref.spec, ref.runtime),
+        )
+        if detector is MISS:
+            raise RuntimeError(
+                f"worker cannot hydrate detector {ref.key_hash}: no "
+                f"{DETECTOR_KIND!r} artifact in the store at "
+                f"{ref.runtime.cache_dir or ref.runtime.shard_dirs!r} — refitting "
+                "in a pool worker is forbidden (the gateway fits before dispatch)"
+            )
+        # stamp last-use so the disk-budget GC never evicts a detector that
+        # live workers are serving from
+        store.touch(DETECTOR_KIND, ref.key)
+        _HYDRATED[ref.key_hash] = detector
+        return detector
+
+
+# ---------------------------------------------------------------------------
+# module-level pool tasks (process backends pickle these by qualified name)
+# ---------------------------------------------------------------------------
+
+def _audit_task(
+    detector: Any,
+    key: str,
+    model: ImageClassifier,
+    query_function: Optional[QueryFunction],
+) -> AuditVerdict:
+    """One BPROM inspection; the per-task seed derives from the catalogue key."""
+    result = detector.inspect(model, query_function=query_function, seed_key=key)
+    return AuditVerdict(
+        name=key,
+        backdoor_score=result.backdoor_score,
+        is_backdoored=result.is_backdoored,
+        prompted_accuracy=result.prompted_accuracy,
+        query_count=result.query_count,
+        query_calls=result.query_calls,
+    )
+
+
+def _ref_audit_task(
+    ref: DetectorRef,
+    key: str,
+    model: ImageClassifier,
+    query_function: Optional[QueryFunction],
+) -> AuditVerdict:
+    """BPROM inspection against a :class:`DetectorRef` (process backend)."""
+    return _audit_task(resolve_detector(ref), key, model, query_function)
+
+
+def _mntd_audit_task(
+    defense: MNTDDefense, clean_data: ImageDataset, key: str, model: ImageClassifier
+) -> AuditVerdict:
+    """One MNTD scoring pass: a query batch plus the meta-forest vote."""
+    score = float(defense.score_model(model, clean_data))
+    return AuditVerdict(
+        name=key,
+        backdoor_score=score,
+        is_backdoored=score >= defense.threshold,
+        prompted_accuracy=float("nan"),
+    )
+
+
+def _ref_mntd_audit_task(
+    ref: DetectorRef, clean_data: ImageDataset, key: str, model: ImageClassifier
+) -> AuditVerdict:
+    """MNTD scoring against a :class:`DetectorRef` (process backend)."""
+    return _mntd_audit_task(resolve_detector(ref), clean_data, key, model)
+
+
+# ---------------------------------------------------------------------------
+# the shared pool
+# ---------------------------------------------------------------------------
+
+class _CountingSession(ExecutorSession):
+    """An :class:`ExecutorSession` that books every submit on its pool."""
+
+    def __init__(self, pool, owner: "WorkerPool") -> None:
+        super().__init__(pool)
+        self._owner = owner
+
+    def submit(self, fn: Callable[..., Any], *args) -> Future:
+        self._owner._count_task()
+        return super().submit(fn, *args)
+
+
+class WorkerPool:
+    """One persistent executor shared by every tenant of a gateway.
+
+    The pool is created lazily on first :meth:`session` call and stays alive
+    until :meth:`close`; tenant services share its session, so the machine's
+    parallelism is one dial (``workers``) rather than per-tenant pools
+    multiplying.  ``backend="process"`` requires that submitted tasks be
+    module-level callables with picklable arguments — tenant services submit
+    :class:`DetectorRef`-based tasks for exactly this reason.
+
+    Thread-safe: concurrent first submits race on one lock, so exactly one
+    pool is ever created.
+    """
+
+    def __init__(self, workers: int = 1, backend: str = "thread") -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if backend not in ("serial", "thread", "process"):
+            raise ValueError(f"unknown worker-pool backend {backend!r}")
+        self.workers = int(workers)
+        self.backend = backend
+        self._pool = None
+        self._session: Optional[ExecutorSession] = None
+        self._lock = threading.Lock()
+        self._closed = False
+        #: tasks submitted through the shared session (for :meth:`stats`)
+        self.tasks = 0
+
+    @classmethod
+    def from_config(cls, runtime: Optional[RuntimeConfig]) -> "WorkerPool":
+        if runtime is None:
+            return cls(1, "thread")
+        return cls(
+            workers=runtime.gateway_workers or runtime.workers,
+            backend=runtime.gateway_backend,
+        )
+
+    @property
+    def parallel(self) -> bool:
+        """Whether submitted tasks actually run concurrently."""
+        return self.backend != "serial" and self.workers > 1
+
+    @property
+    def started(self) -> bool:
+        """Whether the shared session (and any pool behind it) exists yet."""
+        with self._lock:
+            return self._session is not None
+
+    def _count_task(self) -> None:
+        with self._lock:
+            self.tasks += 1
+
+    def session(self) -> ExecutorSession:
+        """The shared session; created (with its pool) on first call."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("worker pool is closed")
+            if self._session is None:
+                if self.parallel:
+                    pool_cls = (
+                        ThreadPoolExecutor if self.backend == "thread" else ProcessPoolExecutor
+                    )
+                    self._pool = pool_cls(max_workers=self.workers)
+                # a serial/one-worker pool yields an inline (poolless) session,
+                # preserving the old synchronous-submit behaviour exactly
+                self._session = _CountingSession(self._pool, self)
+            return self._session
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "backend": self.backend,
+                "workers": self.workers,
+                "started": self._session is not None,
+                "tasks": self.tasks,
+            }
+
+    def close(self) -> None:
+        """Drain outstanding tasks and shut the pool down (idempotent)."""
+        with self._lock:
+            self._closed = True
+            pool, self._pool, self._session = self._pool, None, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WorkerPool(workers={self.workers}, backend={self.backend!r}, "
+            f"tasks={self.tasks})"
+        )

@@ -532,6 +532,94 @@ class TestL102LockPath:
         )
 
 
+class TestL201PoolTaskUnpicklable:
+    def test_fires_on_lambda(self):
+        assert_fires(
+            "L201",
+            """
+            def dispatch(session, model):
+                return session.submit(lambda: model.predict())
+            """,
+            relpath=RUNTIME_PATH,
+        )
+
+    def test_fires_on_closure(self):
+        assert_fires(
+            "L201",
+            """
+            def dispatch(session, model):
+                def task():
+                    return model.predict()
+                return session.submit(task)
+            """,
+            relpath=RUNTIME_PATH,
+        )
+
+    def test_fires_on_lambda_assigned_name(self):
+        assert_fires(
+            "L201",
+            """
+            score = lambda model: model.predict()
+
+            def dispatch(session, model):
+                return session.submit(score, model)
+            """,
+            relpath=RUNTIME_PATH,
+        )
+
+    def test_fires_on_bound_method(self):
+        assert_fires(
+            "L201",
+            """
+            def dispatch(session, service, model):
+                return session.submit(service.inspect, model)
+            """,
+            relpath=RUNTIME_PATH,
+        )
+
+    def test_quiet_on_module_level_task(self):
+        assert_quiet(
+            "L201",
+            """
+            def _audit_task(model):
+                return model.predict()
+
+            def dispatch(session, model):
+                return session.submit(_audit_task, model)
+            """,
+            relpath=RUNTIME_PATH,
+        )
+
+    def test_quiet_on_imported_function(self):
+        assert_quiet(
+            "L201",
+            """
+            from repro.runtime import workers
+
+            def dispatch(session, ref, model):
+                return session.submit(workers._ref_audit_task, ref, model)
+            """,
+            relpath=RUNTIME_PATH,
+        )
+
+    def test_quiet_on_parameter_and_star_args(self):
+        assert_quiet(
+            "L201",
+            """
+            def relay(session, fn, args):
+                session.submit(fn, *args)
+                return session.submit(*args)
+            """,
+            relpath=RUNTIME_PATH,
+        )
+
+    def test_quiet_outside_runtime(self):
+        assert_quiet("L201", """
+            def dispatch(session, model):
+                return session.submit(lambda: model.predict())
+        """)
+
+
 class TestL301SilentBroadExcept:
     def test_fires_on_silent_pass(self):
         assert_fires(
@@ -668,6 +756,6 @@ def test_rule_metadata_complete():
         assert rule.summary, f"{rule_id} has no summary"
 
 
-@pytest.mark.parametrize("family,expected", [("D", 6), ("P", 4), ("K", 5), ("L", 4)])
+@pytest.mark.parametrize("family,expected", [("D", 6), ("P", 4), ("K", 5), ("L", 5)])
 def test_family_sizes(family, expected):
     assert sum(1 for rule_id in RULES if rule_id[0] == family) == expected

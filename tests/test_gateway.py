@@ -9,11 +9,15 @@ snapshot.
 
 from __future__ import annotations
 
+import copy
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
 import pytest
 
 from repro.config import RuntimeConfig
 from repro.models.registry import build_classifier
-from repro.runtime import AuditGateway, AuditService, DetectorRegistry
+from repro.runtime import AuditGateway, AuditService, DetectorRegistry, TenantProvisioner
 from repro.runtime.registry import DetectorSpec
 
 
@@ -307,3 +311,164 @@ def test_mntd_tenant_warns_on_ignored_query_function(warm_gateway, vendor_models
             )
         )
     assert verdicts[0].tenant == "baseline-mntd"
+
+
+# ---------------------------------------------------------------------------
+# worker-pool backends (the tentpole: process pools, bit-identical verdicts)
+# ---------------------------------------------------------------------------
+
+def test_process_backend_verdicts_bit_identical_to_thread(
+    tenant_specs, vendor_models, tiny_dataset, tiny_test_dataset, tmp_path
+):
+    """The same catalogue through a thread-pool and a process-pool gateway
+    over one warm store must produce *exactly* equal verdicts — the process
+    workers hydrate the same fitted artifact and the per-key seed derivation
+    is shared, so any drift is a real bug, not noise."""
+    submissions = [
+        (name, model) for name, model in vendor_models.items()
+        if name.startswith("vendor-mlp")
+    ]
+    results = {}
+    for backend in ("thread", "process"):
+        runtime = RuntimeConfig(
+            workers=2, cache_dir=str(tmp_path), gateway_backend=backend
+        )
+        with AuditGateway(runtime=runtime) as gateway:
+            gateway.register_tenant(
+                "tabular-mlp", tenant_specs["tabular-mlp"],
+                tiny_dataset, tiny_test_dataset, tiny_test_dataset,
+            )
+            assert gateway.worker_pool.backend == backend  # no silent fallback
+            results[backend] = {
+                verdict.name: verdict
+                for verdict in gateway.stream(
+                    (name, copy.deepcopy(model)) for name, model in submissions
+                )
+            }
+            pool_stats = gateway.stats()["worker_pool"]
+            assert pool_stats["backend"] == backend
+            assert pool_stats["tasks"] == len(submissions)
+    assert set(results["thread"]) == set(results["process"]) == {
+        name for name, _ in submissions
+    }
+    for name, thread_verdict in results["thread"].items():
+        process_verdict = results["process"][name]
+        assert process_verdict.backdoor_score == thread_verdict.backdoor_score, name
+        assert process_verdict.is_backdoored == thread_verdict.is_backdoored, name
+        assert process_verdict.prompted_accuracy == thread_verdict.prompted_accuracy
+        assert process_verdict.query_count == thread_verdict.query_count, name
+        assert process_verdict.query_calls == thread_verdict.query_calls, name
+
+
+def test_process_backend_without_store_falls_back_to_thread():
+    """Process workers hydrate detectors from the shared store; with no store
+    there is nothing to hydrate from, so the gateway must warn and degrade
+    rather than refit inside workers."""
+    with pytest.warns(UserWarning, match="falling back to the thread backend"):
+        gateway = AuditGateway(runtime=RuntimeConfig(gateway_backend="process"))
+    assert gateway.worker_pool.backend == "thread"
+    gateway.close()
+
+
+# ---------------------------------------------------------------------------
+# tenant auto-provisioning
+# ---------------------------------------------------------------------------
+
+def _provisioner(micro_profile, tiny_dataset, tiny_test_dataset) -> TenantProvisioner:
+    return TenantProvisioner(
+        reserved_clean=tiny_dataset,
+        target_train=tiny_test_dataset,
+        target_test=tiny_test_dataset,
+        template=DetectorSpec(
+            defense="bprom", profile=micro_profile, architecture="mlp", seed=0
+        ),
+    )
+
+
+def test_first_touch_submission_provisions_a_tenant(
+    micro_profile, vendor_models, tiny_dataset, tiny_test_dataset, tmp_path
+):
+    runtime = RuntimeConfig(cache_dir=str(tmp_path))
+    provisioner = _provisioner(micro_profile, tiny_dataset, tiny_test_dataset)
+    model = vendor_models["vendor-mlp-0"]
+    with AuditGateway(runtime=runtime, provisioner=provisioner) as gateway:
+        [verdict] = list(gateway.stream([("first-touch", model)]))
+        assert verdict.tenant == "auto-bprom-mlp"
+        stats = gateway.stats()
+        assert stats["tenants"]["auto-bprom-mlp"]["provisioned"] is True
+        assert gateway.registry.fits == 1
+        # the second submission routes to the standing tenant: no second fit
+        [again] = list(gateway.stream([("second-touch", model)]))
+        assert again.tenant == "auto-bprom-mlp"
+        assert gateway.registry.fits == 1
+        # an explicit pin on an unknown tenant is a caller error, not a
+        # provisioning trigger
+        with pytest.raises(KeyError, match="unknown tenant"):
+            gateway.submit("pinned", model, metadata={"tenant": "nobody"})
+
+
+def test_provisioning_race_in_threads_fits_exactly_once(
+    micro_profile, vendor_models, tiny_dataset, tiny_test_dataset, tmp_path
+):
+    """Two racing gateways (one store) provisioning the same first-touch spec
+    must perform exactly one fit between them — the registry's advisory lock
+    single-flights the fit, and the loser warm-loads."""
+    runtime = RuntimeConfig(cache_dir=str(tmp_path))
+    model = vendor_models["vendor-mlp-0"]
+    barrier = threading.Barrier(2)
+    outcomes = []
+
+    def provision_and_audit() -> None:
+        registry = DetectorRegistry(runtime=runtime)
+        provisioner = _provisioner(micro_profile, tiny_dataset, tiny_test_dataset)
+        with AuditGateway(registry=registry, provisioner=provisioner) as gateway:
+            barrier.wait()
+            [verdict] = list(gateway.stream([("probe", copy.deepcopy(model))]))
+        outcomes.append((registry.fits, verdict.backdoor_score))
+
+    threads = [threading.Thread(target=provision_and_audit) for _ in range(2)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert sorted(fits for fits, _ in outcomes) == [0, 1], outcomes
+    scores = {score for _, score in outcomes}
+    assert len(scores) == 1  # both serve from the one fitted artifact
+
+
+def _provision_in_subprocess(args):
+    """Module-level so a fork-start ProcessPoolExecutor can run it: one whole
+    gateway process provisioning the same spec as its sibling."""
+    cache_dir, profile, reserved, target, model = args
+    runtime = RuntimeConfig(cache_dir=cache_dir)
+    registry = DetectorRegistry(runtime=runtime)
+    provisioner = TenantProvisioner(
+        reserved_clean=reserved,
+        target_train=target,
+        target_test=target,
+        template=DetectorSpec(
+            defense="bprom", profile=profile, architecture="mlp", seed=0
+        ),
+    )
+    with AuditGateway(registry=registry, provisioner=provisioner) as gateway:
+        [verdict] = list(gateway.stream([("probe", model)]))
+    return registry.fits, verdict.backdoor_score
+
+
+def test_provisioning_race_across_processes_fits_exactly_once(
+    micro_profile, vendor_models, tiny_dataset, tiny_test_dataset, tmp_path
+):
+    """Same exactly-one-fit property with the racers as whole OS processes:
+    nothing but the store and its advisory locks is shared."""
+    args = (
+        str(tmp_path),
+        micro_profile,
+        tiny_dataset,
+        tiny_test_dataset,
+        vendor_models["vendor-mlp-0"],
+    )
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        outcomes = list(pool.map(_provision_in_subprocess, [args, args]))
+    assert sum(fits for fits, _ in outcomes) == 1, outcomes
+    scores = {score for _, score in outcomes}
+    assert len(scores) == 1

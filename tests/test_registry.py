@@ -289,3 +289,51 @@ def test_registry_without_store_fits_in_process(micro_profile, tiny_dataset):
     # repeat requests still deduplicate through the in-memory LRU
     assert registry.get_or_fit(spec, tiny_dataset).source == "memory"
     assert registry.fits == 1
+
+
+# ---------------------------------------------------------------------------
+# disk-budget GC on the fit path
+# ---------------------------------------------------------------------------
+
+def _mntd_spec(micro_profile, seed: int) -> DetectorSpec:
+    return DetectorSpec(
+        defense="mntd", profile=micro_profile, architecture="mlp", seed=seed, num_queries=4
+    )
+
+
+def test_fit_path_gc_keeps_store_under_budget(micro_profile, tiny_dataset, tmp_path):
+    """With ``detector_gc_bytes`` set, every fit runs an opportunistic GC pass
+    that evicts idle detectors — but never the artifact the fit just wrote
+    (its per-key advisory lock is still held during the pass)."""
+    from repro.runtime.registry import DETECTOR_KIND
+
+    runtime = RuntimeConfig(cache_dir=str(tmp_path), detector_gc_bytes=1)
+    registry = DetectorRegistry(runtime=runtime)
+    entry_a = registry.get_or_fit(_mntd_spec(micro_profile, seed=0), tiny_dataset)
+    # age A past the grace period, as a long-idle tenant's detector would be
+    manifest = registry.store.directory_for(DETECTOR_KIND, entry_a.key) / "artifact.json"
+    stamp = time.time() - 3600
+    os.utime(manifest, (stamp, stamp))
+    entry_b = registry.get_or_fit(_mntd_spec(micro_profile, seed=1), tiny_dataset)
+    assert not registry.store.contains(DETECTOR_KIND, entry_a.key)
+    assert registry.store.contains(DETECTOR_KIND, entry_b.key)
+    assert registry.stats()["gc_evictions"] == 1
+
+
+def test_maybe_gc_is_opportunistic_and_off_without_budget(
+    micro_profile, tiny_dataset, tmp_path
+):
+    unbudgeted = DetectorRegistry(runtime=RuntimeConfig(cache_dir=str(tmp_path)))
+    unbudgeted.get_or_fit(_mntd_spec(micro_profile, seed=0), tiny_dataset)
+    assert unbudgeted.maybe_gc() is None  # no budget: GC never runs
+
+    runtime = RuntimeConfig(cache_dir=str(tmp_path), detector_gc_bytes=1)
+    registry = DetectorRegistry(runtime=runtime)
+    with registry.store.maintenance_lock():
+        # another node is already collecting: skip, don't block the fit path
+        assert registry.maybe_gc(grace_seconds=0.0) is None
+    result = registry.maybe_gc(grace_seconds=0.0)
+    assert result is not None and result["evicted"] == 1
+    assert result["bytes_after"] == 0  # the one fitted artifact is gone
+    assert registry.gc_evictions == 1
+    assert registry.stats()["gc_evictions"] == 1

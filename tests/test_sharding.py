@@ -241,6 +241,120 @@ def test_maintenance_ignores_the_locks_directory(tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# disk-budget GC (byte-budgeted LRU eviction of whole artifacts)
+# ---------------------------------------------------------------------------
+
+def _write_blob(store, key, seed: int) -> None:
+    with store.open_write("demo", key) as artifact:
+        artifact.save_arrays("blob", {"x": np.random.default_rng(seed).random(256)})
+
+
+def _age(store, key, seconds_ago: float) -> None:
+    """Back-date an artifact's last-use stamp (the manifest mtime)."""
+    stamp = time.time() - seconds_ago
+    os.utime(store.directory_for("demo", key) / "artifact.json", (stamp, stamp))
+
+
+def test_gc_kind_evicts_lru_until_under_budget(tmp_path):
+    store = ArtifactStore(tmp_path)
+    keys = [{"i": index} for index in range(4)]
+    sizes = {}
+    for index, key in enumerate(keys):
+        _write_blob(store, key, index)
+        _age(store, key, seconds_ago=4000 - 1000 * index)  # keys[0] is oldest
+        sizes[index] = store._tree_nbytes(store.directory_for("demo", key))
+    budget = sizes[2] + sizes[3]  # room for exactly the two newest
+    result = store.gc_kind("demo", max_bytes=budget, grace_seconds=0.0)
+    assert result["scanned"] == 4
+    assert result["evicted"] == 2 and result["evicted_bytes"] == sizes[0] + sizes[1]
+    assert result["bytes_after"] == result["bytes_before"] - result["evicted_bytes"]
+    assert result["bytes_after"] <= budget
+    assert not store.contains("demo", keys[0]) and not store.contains("demo", keys[1])
+    assert store.contains("demo", keys[2]) and store.contains("demo", keys[3])
+    # already under budget: a second pass is a no-op
+    again = store.gc_kind("demo", max_bytes=budget, grace_seconds=0.0)
+    assert again["evicted"] == 0 and again["bytes_after"] == result["bytes_after"]
+
+
+def test_gc_touch_refreshes_lru_rank(tmp_path):
+    """touch() is how serving paths vote: a just-served artifact must outlive
+    an idle one even if it was written first."""
+    store = ArtifactStore(tmp_path)
+    old_but_hot, idle = {"i": 0}, {"i": 1}
+    for index, key in enumerate((old_but_hot, idle)):
+        _write_blob(store, key, index)
+        _age(store, key, seconds_ago=4000 - 1000 * index)  # old_but_hot older
+    assert store.touch("demo", old_but_hot)  # a worker just hydrated it
+    size = store._tree_nbytes(store.directory_for("demo", idle))
+    result = store.gc_kind("demo", max_bytes=size, grace_seconds=0.0)
+    assert result["evicted"] == 1
+    assert store.contains("demo", old_but_hot) and not store.contains("demo", idle)
+    assert not store.touch("demo", idle)  # evicted: nothing left to stamp
+
+
+def test_gc_never_evicts_locked_or_recently_used_artifacts(tmp_path):
+    store = ArtifactStore(tmp_path)
+    locked, graced, evictable = {"i": 0}, {"i": 1}, {"i": 2}
+    for index, key in enumerate((locked, graced, evictable)):
+        _write_blob(store, key, index)
+    _age(store, locked, seconds_ago=10_000)
+    _age(store, evictable, seconds_ago=9_000)
+    # `locked` is under a fitter/loader's per-key advisory lock right now;
+    # `graced` keeps its fresh write stamp (within the grace period)
+    lock_path = store.lock_path("demo", locked)
+    lock_path.parent.mkdir(parents=True, exist_ok=True)
+    lock_path.write_text("held")
+    result = store.gc_kind("demo", max_bytes=0, grace_seconds=300.0)
+    assert result["skipped_locked"] == 1 and result["skipped_grace"] == 1
+    assert result["evicted"] == 1
+    assert store.contains("demo", locked) and store.contains("demo", graced)
+    assert not store.contains("demo", evictable)
+    assert result["bytes_after"] > 0  # protected artifacts may exceed the budget
+
+
+def test_gc_kind_serialised_by_maintenance_lock(tmp_path):
+    store = ArtifactStore(tmp_path)
+    with store.maintenance_lock():
+        with pytest.raises(LockTimeout):
+            store.gc_kind("demo", max_bytes=0, lock_wait_seconds=0.05)
+    assert store.gc_kind("demo", max_bytes=0)["scanned"] == 0  # released
+
+
+def test_sharded_gc_kind_respects_home_shard_locks(tmp_path):
+    """Fitters lock a key on its *home* shard; the sharded GC must check that
+    same path for every candidate, wherever the artifact copy lives."""
+    store = ShardedArtifactStore([tmp_path / "a", tmp_path / "b"])
+    keys = _keys_for_every_shard(store, per_shard=2)
+    for index, key in enumerate(keys):
+        _write_blob(store, key, index)
+        _age(store, key, seconds_ago=10_000)
+    protected = keys[0]
+    lock_path = store.lock_path("demo", protected)  # the home-shard lock
+    lock_path.parent.mkdir(parents=True, exist_ok=True)
+    lock_path.write_text("held")
+    result = store.gc_kind("demo", max_bytes=0, grace_seconds=0.0)
+    assert result["scanned"] == len(keys)
+    assert result["skipped_locked"] == 1 and result["evicted"] == len(keys) - 1
+    assert store.contains("demo", protected)
+    assert sum(store.contains("demo", key) for key in keys) == 1
+
+
+def test_sharded_touch_stamps_every_replica(tmp_path):
+    store = ShardedArtifactStore([tmp_path / "a", tmp_path / "b"])
+    key = {"k": 1}
+    # replicate on both shards (two independently warmed roots)
+    for shard in store.shards:
+        with ArtifactStore(shard.root).open_write("demo", key) as artifact:
+            artifact.save_json("value", 1)
+        stamp = time.time() - 5000
+        os.utime(shard.directory_for("demo", key) / "artifact.json", (stamp, stamp))
+    assert store.touch("demo", key)
+    for shard in store.shards:
+        age = time.time() - (shard.directory_for("demo", key) / "artifact.json").stat().st_mtime
+        assert age < 60, "every replica must carry the refreshed stamp"
+
+
+# ---------------------------------------------------------------------------
 # config wiring
 # ---------------------------------------------------------------------------
 
