@@ -54,6 +54,9 @@ import numpy as np
 from repro.config import RuntimeConfig, get_profile
 from repro.datasets.registry import load_dataset
 from repro.models.registry import build_classifier
+from repro.obs import get_tracer
+from repro.obs.export import export_jsonl, export_metrics
+from repro.obs.report import queries_per_verdict, render_report, stage_summary
 from repro.runtime import AuditGateway, AuditService, DetectorRegistry, VerdictCache
 from repro.runtime.registry import DetectorSpec
 
@@ -185,8 +188,13 @@ def main() -> None:
     print("worker-pool backends (thread vs process, one warm store):")
     backend_runs = {}
     for backend_name in ("thread", "process"):
+        # telemetry ON only for the process leg: the bit-identity assert below
+        # then doubles as the telemetry ON == OFF acceptance check, and the
+        # trace exercises the cross-process span shipping path
         backend_runtime = runtime.with_overrides(
-            gateway_backend=backend_name, gateway_workers=args.workers
+            gateway_backend=backend_name,
+            gateway_workers=args.workers,
+            telemetry=(backend_name == "process"),
         )
         # a fresh registry over the same store: detectors warm-load, and the
         # process pool's workers hydrate from the same artifacts by key
@@ -202,14 +210,22 @@ def main() -> None:
             start = time.perf_counter()
             verdicts = {v.name: v for v in backend_gateway.stream(workload)}
             elapsed = time.perf_counter() - start
-            pool_stats = backend_gateway.stats()["worker_pool"]
+            backend_stats = backend_gateway.stats()
+            pool_stats = backend_stats["worker_pool"]
         backend_runs[backend_name] = (verdicts, elapsed)
+        if backend_name == "process":
+            process_metrics = backend_stats["telemetry"]["metrics"]
         print(
             f"  {backend_name:7s} total {elapsed:8.2f}s "
             f"({total_models / max(elapsed, 1e-9):.2f} verdicts/s, "
             f"pool {pool_stats['workers']}x{pool_stats['backend']}, "
             f"{pool_stats['tasks']} tasks)"
         )
+    # harvest the process leg's trace before the zipf sections start (the
+    # tracer is process-global and stays enabled once a gateway turned it on)
+    tracer = get_tracer()
+    trace_spans = tracer.drain()
+    tracer.disable()
     thread_verdicts, thread_s = backend_runs["thread"]
     process_verdicts, process_s = backend_runs["process"]
     assert set(thread_verdicts) == set(process_verdicts)
@@ -223,9 +239,18 @@ def main() -> None:
     process_speedup = thread_s / max(process_s, 1e-9)
     cpu_count = os.cpu_count() or 1
     print(
-        f"  process verdicts bit-identical to thread; "
+        f"  process verdicts bit-identical to thread (telemetry ON == OFF); "
         f"process speedup {process_speedup:.2f}x on {cpu_count} core(s)"
     )
+
+    trace_path = Path(args.json).with_name("TRACE_gateway.jsonl")
+    metrics_path = Path(args.json).with_name("METRICS_gateway.json")
+    export_jsonl(trace_spans, str(trace_path))
+    export_metrics(process_metrics, str(metrics_path))
+    stage_stats = stage_summary(trace_spans)
+    economy = queries_per_verdict(trace_spans)
+    print(render_report(trace_spans, top=2, title="process-backend flight recorder"))
+    print(f"  trace -> {trace_path}   metrics -> {metrics_path}")
 
     merged = {**catalogue_a, **catalogue_b}
     submission_count = args.zipf_submissions
@@ -346,6 +371,20 @@ def main() -> None:
         "cached_zipf_verdicts_per_second": submission_count / max(cached_zipf_s, 1e-9),
         "cache_speedup": cache_speedup,
         "max_warm_score_deviation": warm_deviation,
+        "telemetry": {
+            "spans": len(trace_spans),
+            "trace": trace_path.name,
+            "metrics": metrics_path.name,
+            "stages": {
+                name: {
+                    "count": int(summary["count"]),
+                    "p50": summary["p50"],
+                    "p95": summary["p95"],
+                }
+                for name, summary in stage_stats.items()
+            },
+            "amortized_queries_per_verdict": economy["amortized_queries_per_verdict"],
+        },
     }
     with open(args.json, "w") as handle:
         json.dump(results, handle, indent=2, sort_keys=True)

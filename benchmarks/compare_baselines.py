@@ -48,6 +48,20 @@ def compare_one(baseline_path: Path, results_dir: Path, tolerance: float, update
 
     results = json.loads(results_path.read_text())
     failures, lines = [], []
+    if baseline.get("telemetry"):
+        # a bench that once emitted flight-recorder data must keep doing so —
+        # a silently dropped telemetry section is an observability regression
+        telemetry = results.get("telemetry")
+        if not isinstance(telemetry, dict) or not telemetry:
+            failures.append(
+                f"{baseline_path.name}: telemetry section missing or empty "
+                "(the bench stopped emitting its flight-recorder data)"
+            )
+        else:
+            lines.append(
+                f"  telemetry: present ({telemetry.get('spans', 0)} spans, "
+                f"{len(telemetry.get('stages') or {})} stages) ... ok"
+            )
     for metric, spec in baseline["metrics"].items():
         requires = spec.get("requires") or {}
         unmet = [

@@ -36,7 +36,12 @@ for the whole fleet:
 * ``gateway.stats()`` closes the loop: per-tenant verdict counts, query
   budgets, cache hit-rate, amortised queries-per-verdict, worker-pool task
   counters, registry hit/miss/evict counters and store statistics in one
-  snapshot.
+  snapshot;
+* ``telemetry=True`` traces every submission end to end — worker-side
+  inspection spans ship back across the process-pool boundary — and the
+  **flight recorder** at the bottom renders per-stage latency percentiles,
+  query economics and critical-path waterfalls from the exported trace
+  (the same report as ``python -m repro.obs report <trace.jsonl>``).
 
 Run with:  python examples/mlaas_audit.py
 """
@@ -54,6 +59,9 @@ from repro.datasets import load_dataset
 from repro.defenses import StripDefense
 from repro.defenses.base import triggered_and_clean_split
 from repro.models import build_classifier
+from repro.obs import get_tracer
+from repro.obs.export import export_jsonl
+from repro.obs.report import render_report
 from repro.runtime import AuditGateway, DetectorRegistry, DetectorSpec, TenantProvisioner
 
 
@@ -106,12 +114,16 @@ def main() -> None:
         # the process backend dispatches inspections to a persistent pool of
         # OS processes; workers warm-load detectors from this store by
         # registry key (never refitting), so the fleet scales across cores
+        # telemetry=True turns on span tracing: every submission gets a trace
+        # from route through pool execution to verdict, and the worker-side
+        # inspection spans ship back across the process boundary
         runtime = RuntimeConfig(
             workers=4,
             cache_dir=str(Path(scratch) / "store"),
             verdict_cache=True,
             gateway_backend="process",
             gateway_workers=2,
+            telemetry=True,
         )
         registry = DetectorRegistry(runtime=runtime)
         provisioner = TenantProvisioner(
@@ -253,6 +265,14 @@ def main() -> None:
 
             print("\n--- serving dashboard (gateway.stats()) ---")
             print(json.dumps(stats, indent=2, sort_keys=True))
+
+        # everything above was traced; the flight recorder turns the span
+        # buffer into per-stage percentiles, query economics and waterfalls
+        # (the same report `python -m repro.obs report <trace>` renders)
+        spans = get_tracer().drain()
+        export_jsonl(spans, str(Path(scratch) / "trace.jsonl"))
+        print("\n--- flight recorder (python -m repro.obs report) ---")
+        print(render_report(spans, top=2))
 
 
 if __name__ == "__main__":

@@ -48,6 +48,9 @@ _WALL_CLOCK_ALLOWLIST = (
     "repro/runtime/sharding.py",
     "repro/runtime/store.py",
     "repro/runtime/verdict_cache.py",
+    # the telemetry exporter stamps `exported_at` on trace files; everything
+    # else in repro/obs is monotonic-only
+    "repro/obs/export.py",
 )
 
 #: calls returning filesystem entries in arbitrary (kernel-dependent) order
@@ -155,9 +158,10 @@ class WallClockInComputation(Rule):
                     self,
                     call,
                     f"`{dotted}` feeds the current time into this module; only "
-                    "runtime/locks.py, runtime/sharding.py, runtime/store.py "
-                    "and runtime/verdict_cache.py may do wall-clock "
-                    "arithmetic (use `time.perf_counter` for durations)",
+                    "runtime/locks.py, runtime/sharding.py, runtime/store.py, "
+                    "runtime/verdict_cache.py and obs/export.py may do "
+                    "wall-clock arithmetic (use `time.perf_counter` for "
+                    "durations)",
                 )
 
 

@@ -11,6 +11,7 @@ from typing import Iterable, List, Optional, Sequence, Union
 import repro.analysis.configsync  # noqa: F401
 import repro.analysis.determinism  # noqa: F401
 import repro.analysis.lockrules  # noqa: F401
+import repro.analysis.obsrules  # noqa: F401
 import repro.analysis.precision  # noqa: F401
 from repro.analysis.baseline import load_baseline, split_new
 from repro.analysis.core import (

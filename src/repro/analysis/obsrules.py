@@ -1,0 +1,133 @@
+"""O-series rules: telemetry hygiene for the :mod:`repro.obs` subsystem.
+
+A span opened with ``Tracer.start_span`` (or a timer interval opened with
+``Timer.measure``) only becomes a record when it is closed; an exception
+between open and close silently drops the measurement *and* leaves a stale
+handle.  The context-manager forms (``tracer.span(...)``,
+``with timer.measure(...)``) cannot leak, so O101 pushes every call site
+toward them: an explicit handle is tolerated only when the enclosing scope
+provably closes it in a ``try/finally``.
+
+``Tracer.record`` takes both timestamps up front and is never open — the
+rule does not apply to it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional, Set
+
+from repro.analysis.core import Finding, LintModule, Rule, register
+
+#: methods that open an interval which must be explicitly closed
+_OPENERS = ("start_span", "measure")
+
+
+def _obs_scope(module: LintModule) -> bool:
+    # the telemetry implementation itself opens/closes handles internally
+    return not (module.within("repro/obs") or module.is_file("repro/utils/timer.py"))
+
+
+def _functions(module: LintModule) -> Iterator[ast.AST]:
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+@register
+class SpanLeaked(Rule):
+    id = "O101"
+    name = "span-leaked"
+    summary = (
+        "start_span()/measure() outside a with-block or try/finally close "
+        "leaks the span (and drops the measurement) on any exception"
+    )
+
+    @staticmethod
+    def _with_covered(module: LintModule) -> Set[int]:
+        """Node ids appearing inside any ``with`` item's context expression
+        (covers chained forms like ``with tracer.start_span(...).set(...):``)."""
+        covered: Set[int] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    covered.update(id(sub) for sub in ast.walk(item.context_expr))
+        return covered
+
+    @staticmethod
+    def _enclosing_scope(module: LintModule, node: ast.AST) -> ast.AST:
+        for ancestor in module.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return module.tree
+
+    @staticmethod
+    def _assigned_name(module: LintModule, call: ast.Call) -> Optional[str]:
+        for ancestor in module.ancestors(call):
+            if isinstance(ancestor, ast.Assign) and ancestor.value is call:
+                for target in ancestor.targets:
+                    if isinstance(target, ast.Name):
+                        return target.id
+        return None
+
+    @staticmethod
+    def _ended_in_finally(scope: ast.AST, name: str) -> bool:
+        for node in ast.walk(scope):
+            if not isinstance(node, ast.Try) or not node.finalbody:
+                continue
+            for final_stmt in node.finalbody:
+                for sub in ast.walk(final_stmt):
+                    if (
+                        isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr == "end"
+                        and isinstance(sub.func.value, ast.Name)
+                        and sub.func.value.id == name
+                    ):
+                        return True
+        return False
+
+    @staticmethod
+    def _entered_by_name(scope: ast.AST, name: str) -> bool:
+        for node in ast.walk(scope):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    expr = item.context_expr
+                    if isinstance(expr, ast.Name) and expr.id == name:
+                        return True
+        return False
+
+    def check(self, module: LintModule) -> Iterable[Finding]:
+        if not _obs_scope(module):
+            return
+        covered = self._with_covered(module)
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _OPENERS
+            ):
+                continue
+            if id(node) in covered:
+                continue
+            opener = node.func.attr
+            name = self._assigned_name(module, node)
+            if name is None:
+                yield module.finding(
+                    self,
+                    node,
+                    f"`{opener}(...)` result is discarded, so the interval can "
+                    "never be closed; use the context-manager form "
+                    "(`with tracer.span(...):` / `with timer.measure(...):`)",
+                )
+                continue
+            scope = self._enclosing_scope(module, node)
+            if self._entered_by_name(scope, name) or self._ended_in_finally(scope, name):
+                continue
+            yield module.finding(
+                self,
+                node,
+                f"`{name} = {opener}(...)` has no `with {name}:` and no "
+                f"try/finally `{name}.end()`; an exception leaks the span — "
+                "prefer the context-manager form",
+            )

@@ -350,6 +350,15 @@ class RuntimeConfig:
     #: ``None`` means verdicts never expire (detector refits still
     #: invalidate, because the refit changes the detector digest in the key)
     verdict_cache_ttl: Optional[float] = None
+    #: enable span tracing and the telemetry sub-dashboard in
+    #: ``gateway.stats()``; off by default — the disabled tracer is a shared
+    #: no-op, so instrumented paths pay one branch, and turning it on never
+    #: perturbs verdict bit-identity (ids come from a counter, not RNG)
+    telemetry: bool = False
+    #: directory benches and examples write their trace JSONL / metrics
+    #: snapshot artifacts into; ``None`` means next to the bench's own
+    #: ``BENCH_*.json`` output
+    telemetry_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -440,11 +449,13 @@ class RuntimeConfig:
         ``REPRO_REGISTRY_LOCK_STALE``, ``REPRO_GATEWAY_MAX_IN_FLIGHT``,
         ``REPRO_GATEWAY_BACKEND``, ``REPRO_GATEWAY_WORKERS``,
         ``REPRO_DETECTOR_GC_BYTES``, ``REPRO_PRECISION``,
-        ``REPRO_VERDICT_CACHE``, ``REPRO_VERDICT_CACHE_BYTES`` and
-        ``REPRO_VERDICT_CACHE_TTL``.
+        ``REPRO_VERDICT_CACHE``, ``REPRO_VERDICT_CACHE_BYTES``,
+        ``REPRO_VERDICT_CACHE_TTL``, ``REPRO_TELEMETRY`` and
+        ``REPRO_TELEMETRY_DIR``.
         ``REPRO_SHARD_DIRS`` is a list of shard roots separated by
         ``os.pathsep`` (``:`` on POSIX).  ``REPRO_VERDICT_CACHE=1`` turns
-        verdict memoisation on (any other value leaves it off).  A malformed
+        verdict memoisation on (any other value leaves it off).
+        ``REPRO_TELEMETRY=1`` turns span tracing on the same way.  A malformed
         numeric value raises a :class:`ValueError` naming the offending
         variable instead of a bare parse error.
         """
@@ -470,6 +481,8 @@ class RuntimeConfig:
             verdict_cache=os.environ.get("REPRO_VERDICT_CACHE", "0") == "1",
             verdict_cache_bytes=_env_int("REPRO_VERDICT_CACHE_BYTES", None),
             verdict_cache_ttl=_env_float("REPRO_VERDICT_CACHE_TTL", None),
+            telemetry=os.environ.get("REPRO_TELEMETRY", "0") == "1",
+            telemetry_dir=os.environ.get("REPRO_TELEMETRY_DIR") or None,
         )
 
 

@@ -34,6 +34,7 @@ from repro.core.prompting_stage import prompt_shadow_models, prompt_suspicious_m
 from repro.core.shadow import ShadowModel, ShadowModelFactory
 from repro.datasets.base import ImageDataset
 from repro.models.classifier import ImageClassifier
+from repro.obs.trace import get_tracer
 from repro.prompting.blackbox import QueryCounter, QueryFunction
 from repro.prompting.prompted import PromptedClassifier
 from repro.runtime.executor import ParallelExecutor
@@ -397,31 +398,35 @@ class BpromDetector:
         """Decide whether ``suspicious`` carries a backdoor."""
         if not self._fitted:
             raise RuntimeError("fit must be called before inspecting models")
+        tracer = get_tracer()
         counter = QueryCounter()
-        prompted = self.prompt_suspicious(
-            suspicious,
-            query_function=query_function,
-            seed_key=seed_key,
-            query_counter=counter,
-        )
+        with tracer.span("inspect.prompt") as span:
+            prompted = self.prompt_suspicious(
+                suspicious,
+                query_function=query_function,
+                seed_key=seed_key,
+                query_counter=counter,
+            )
+            span.set(queries=counter.images, calls=counter.calls)
         eval_set = target_eval if target_eval is not None else self.meta_classifier.query_pool
-        if target_eval is None and self.meta_classifier.query_pool is not None:
-            # the meta-features and the prompted-accuracy signal both read the
-            # prompted model over the same query pool — one batched query
-            # serves both (identical numbers to the two-pass path)
-            probabilities = prompted.predict_source_proba(
-                self.meta_classifier.query_pool.images
-            )
-            score = self.meta_classifier.score_from_source_proba(probabilities)
-            predictions = np.argmax(
-                prompted.mapping.map_probabilities(probabilities), axis=1
-            )
-            prompted_accuracy = float(np.mean(predictions == eval_set.labels))
-        else:
-            score = self.meta_classifier.backdoor_score(prompted)
-            prompted_accuracy = (
-                prompted.evaluate(eval_set) if eval_set is not None else float("nan")
-            )
+        with tracer.span("inspect.score"):
+            if target_eval is None and self.meta_classifier.query_pool is not None:
+                # the meta-features and the prompted-accuracy signal both read
+                # the prompted model over the same query pool — one batched
+                # query serves both (identical numbers to the two-pass path)
+                probabilities = prompted.predict_source_proba(
+                    self.meta_classifier.query_pool.images
+                )
+                score = self.meta_classifier.score_from_source_proba(probabilities)
+                predictions = np.argmax(
+                    prompted.mapping.map_probabilities(probabilities), axis=1
+                )
+                prompted_accuracy = float(np.mean(predictions == eval_set.labels))
+            else:
+                score = self.meta_classifier.backdoor_score(prompted)
+                prompted_accuracy = (
+                    prompted.evaluate(eval_set) if eval_set is not None else float("nan")
+                )
         return DetectionResult(
             backdoor_score=score,
             is_backdoored=score >= self.threshold,

@@ -1,0 +1,70 @@
+"""CLI entry point: ``python -m repro.obs report TRACE.jsonl``.
+
+The flight recorder: reads a trace JSONL exported by a bench or the
+gateway, prints per-stage latency percentiles, a critical-path waterfall
+for the top-N slowest audits and the amortised queries-per-verdict.
+
+Exit codes: 0 — report rendered, 1 — unreadable or empty trace, 2 — usage
+errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.obs.export import load_trace
+from repro.obs.report import render_report, summarize
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="flight recorder over audit trace JSONL: per-stage latency "
+        "percentiles, slowest-audit waterfalls, amortised queries-per-verdict",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    report = commands.add_parser("report", help="render a trace JSONL as a report")
+    report.add_argument("trace", help="trace JSONL file (from a bench or export_jsonl)")
+    report.add_argument(
+        "--top",
+        type=int,
+        default=3,
+        metavar="N",
+        help="waterfalls for the N slowest audits (default: 3)",
+    )
+    report.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    try:
+        spans = load_trace(args.trace)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot read trace {args.trace}: {exc}", file=sys.stderr)
+        return 1
+    if not spans:
+        print(f"error: {args.trace} holds no spans", file=sys.stderr)
+        return 1
+
+    if args.format == "json":
+        summary = summarize(spans, top=args.top)
+        summary["slowest"] = [s.to_dict() for s in summary["slowest"]]
+        print(json.dumps(summary, sort_keys=True, indent=2))
+    else:
+        print(render_report(spans, top=args.top, title=f"flight recorder: {args.trace}"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

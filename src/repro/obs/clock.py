@@ -1,0 +1,55 @@
+"""Monotonic clock primitives shared by spans, stage timing and the Timer.
+
+Telemetry measures *durations*, so everything reads ``time.perf_counter`` —
+monotonic, unaffected by NTP steps, and meaningless across processes (which
+is why cross-process spans travel as task-relative offsets and are rebased
+by the receiver; see :mod:`repro.obs.trace`).  Wall-clock time is banned in
+this package outside the JSONL exporter (repro-lint D104).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+def now() -> float:
+    """The monotonic timestamp every span and stopwatch reads."""
+    return time.perf_counter()
+
+
+class Stopwatch:
+    """A restartable interval measure over the shared monotonic clock.
+
+    The one primitive behind :class:`repro.utils.timer.Timer` and ad-hoc
+    duration measurements: ``start()`` marks an origin, ``stop()`` returns
+    the elapsed seconds and clears it.  Not thread-safe — one stopwatch per
+    measuring thread.
+    """
+
+    __slots__ = ("_start",)
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+
+    @property
+    def running(self) -> bool:
+        return self._start is not None
+
+    def start(self) -> "Stopwatch":
+        self._start = now()
+        return self
+
+    def elapsed(self) -> float:
+        """Seconds since :meth:`start` (0.0 when not running), without stopping."""
+        if self._start is None:
+            return 0.0
+        return now() - self._start
+
+    def stop(self) -> float:
+        """Seconds since :meth:`start`; clears the origin (0.0 when not running)."""
+        if self._start is None:
+            return 0.0
+        elapsed = now() - self._start
+        self._start = None
+        return elapsed

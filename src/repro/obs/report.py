@@ -1,0 +1,178 @@
+"""Flight-recorder report: per-stage percentiles, waterfalls, query economics.
+
+Renders a trace (a list of :class:`~repro.obs.trace.SpanRecord`) into the
+text report behind ``python -m repro.obs report``:
+
+* a per-stage latency table — count, p50, p95, max and total seconds for
+  every span name seen in the trace;
+* a critical-path waterfall for the top-N slowest audits — each
+  ``gateway.audit`` root with its child spans drawn as offset bars, so the
+  queue wait (the leading gap before ``pool.execute``) and the dominant
+  stage are visible at a glance;
+* amortised queries-per-verdict — the paper's core economy — computed from
+  the query counts the gateway stamps on each audit span.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.trace import SpanRecord
+
+#: the span name the gateway records around a whole audit; waterfalls and
+#: query economics key off these roots
+AUDIT_SPAN = "gateway.audit"
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of ``values`` (``q`` in [0, 100])."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+def stage_summary(spans: List[SpanRecord]) -> Dict[str, Dict[str, float]]:
+    """Per-stage (span-name) latency stats: count, p50, p95, max, total."""
+    by_name: Dict[str, List[float]] = {}
+    for span in spans:
+        by_name.setdefault(span.name, []).append(span.duration)
+    return {
+        name: {
+            "count": float(len(durations)),
+            "p50": percentile(durations, 50.0),
+            "p95": percentile(durations, 95.0),
+            "max": max(durations),
+            "total": sum(durations),
+        }
+        for name, durations in by_name.items()
+    }
+
+
+def queries_per_verdict(spans: List[SpanRecord]) -> Dict[str, Any]:
+    """Amortised query economics from the audit roots' stamped attributes.
+
+    Every verdict counts toward amortisation; only cold audits spend
+    queries, so the amortised figure falls as the caches serve more.
+    """
+    audits = [s for s in spans if s.name == AUDIT_SPAN]
+    verdicts = len(audits)
+    queries = sum(int(s.attrs.get("queries", 0) or 0) for s in audits)
+    cold = sum(1 for s in audits if s.attrs.get("cache", "cold") == "cold")
+    return {
+        "verdicts": verdicts,
+        "cold_verdicts": cold,
+        "queries": queries,
+        "amortized_queries_per_verdict": (queries / verdicts) if verdicts else 0.0,
+    }
+
+
+def _children_index(spans: List[SpanRecord]) -> Dict[str, List[SpanRecord]]:
+    index: Dict[str, List[SpanRecord]] = {}
+    for span in spans:
+        if span.parent_id is not None:
+            index.setdefault(span.parent_id, []).append(span)
+    return index
+
+
+def _descendants(
+    root: SpanRecord, index: Dict[str, List[SpanRecord]], depth: int = 1
+) -> List[Any]:
+    rows: List[Any] = []
+    for child in sorted(index.get(root.span_id, []), key=lambda s: s.start):
+        rows.append((depth, child))
+        rows.extend(_descendants(child, index, depth + 1))
+    return rows
+
+
+def _bar(offset: float, duration: float, total: float, width: int = 28) -> str:
+    if total <= 0.0:
+        return " " * width
+    lead = int(round((offset / total) * width))
+    fill = max(1, int(round((duration / total) * width)))
+    lead = min(lead, width - 1)
+    fill = min(fill, width - lead)
+    return " " * lead + "#" * fill + " " * (width - lead - fill)
+
+
+def waterfall_lines(
+    root: SpanRecord, spans: List[SpanRecord], width: int = 28
+) -> List[str]:
+    """Text waterfall for one audit: children as offset bars under the root."""
+    total = root.duration
+    attrs = ", ".join(f"{k}={v}" for k, v in sorted(root.attrs.items()))
+    lines = [
+        f"trace {root.trace_id}  {root.name}  {total * 1000.0:.1f} ms"
+        + (f"  [{attrs}]" if attrs else "")
+    ]
+    for depth, span in _descendants(root, _children_index(spans)):
+        offset = span.start - root.start
+        bar = _bar(offset, span.duration, total, width)
+        label = "  " * depth + span.name
+        lines.append(
+            f"  |{bar}| {label:<34} +{offset * 1000.0:8.1f} ms  "
+            f"{span.duration * 1000.0:8.1f} ms"
+        )
+    return lines
+
+
+def summarize(spans: List[SpanRecord], top: int = 3) -> Dict[str, Any]:
+    """The report as data: stages, query economics, top-N slowest audits."""
+    audits = sorted(
+        (s for s in spans if s.name == AUDIT_SPAN),
+        key=lambda s: s.duration,
+        reverse=True,
+    )
+    return {
+        "spans": len(spans),
+        "stages": stage_summary(spans),
+        "queries": queries_per_verdict(spans),
+        "slowest": audits[: max(0, top)],
+    }
+
+
+def render_report(spans: List[SpanRecord], top: int = 3, title: Optional[str] = None) -> str:
+    """The full flight-recorder report as printable text."""
+    summary = summarize(spans, top=top)
+    lines: List[str] = []
+    lines.append(title or "flight recorder")
+    lines.append(f"spans: {summary['spans']}")
+    lines.append("")
+
+    lines.append("per-stage latency (seconds)")
+    header = f"  {'stage':<24} {'count':>6} {'p50':>10} {'p95':>10} {'max':>10} {'total':>10}"
+    lines.append(header)
+    stages = summary["stages"]
+    for name in sorted(stages, key=lambda n: stages[n]["total"], reverse=True):
+        row = stages[name]
+        lines.append(
+            f"  {name:<24} {int(row['count']):>6} {row['p50']:>10.4f} "
+            f"{row['p95']:>10.4f} {row['max']:>10.4f} {row['total']:>10.4f}"
+        )
+    lines.append("")
+
+    economy = summary["queries"]
+    lines.append("query economics")
+    lines.append(
+        f"  verdicts: {economy['verdicts']} "
+        f"(cold: {economy['cold_verdicts']})  queries: {economy['queries']}"
+    )
+    lines.append(
+        f"  amortized queries/verdict: {economy['amortized_queries_per_verdict']:.2f}"
+    )
+
+    slowest = summary["slowest"]
+    if slowest:
+        lines.append("")
+        lines.append(f"slowest audits (top {len(slowest)})")
+        for root in slowest:
+            for line in waterfall_lines(root, spans):
+                lines.append("  " + line)
+            lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

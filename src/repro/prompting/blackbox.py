@@ -33,6 +33,7 @@ from repro.config import PromptConfig
 from repro.datasets.base import ImageDataset
 from repro.ml.cma_es import build_blackbox_optimizer
 from repro.models.classifier import ImageClassifier
+from repro.obs.trace import get_tracer
 from repro.prompting.output_mapping import LabelMapping
 from repro.prompting.prompt import VisualPrompt
 from repro.prompting.prompted import PromptedClassifier
@@ -136,7 +137,7 @@ def train_prompt_blackbox(
     # query consumes each megabatch before the next generation overwrites it)
     scratch: dict = {}
 
-    def batch_objective(flat_prompts: np.ndarray) -> np.ndarray:
+    def _batch_objective(flat_prompts: np.ndarray) -> np.ndarray:
         lam = flat_prompts.shape[0]
         buffer = scratch.get(lam)
         if buffer is None:
@@ -148,6 +149,15 @@ def train_prompt_blackbox(
         )
         probabilities = query(megabatch).reshape(lam, batch_size, -1)
         return _cross_entropy_from_probabilities(probabilities, source_labels)
+
+    def batch_objective(flat_prompts: np.ndarray) -> np.ndarray:
+        # one batched call is one CMA-ES generation — the natural span
+        # granularity for prompt optimisation (per-candidate spans in the
+        # non-batched path would be pure noise)
+        with get_tracer().span(
+            "prompt.generation", population=int(flat_prompts.shape[0])
+        ):
+            return _batch_objective(flat_prompts)
 
     optimizer = build_blackbox_optimizer(
         config.blackbox_optimizer,

@@ -30,6 +30,7 @@ from __future__ import annotations
 import threading
 import warnings
 from collections import deque
+from contextlib import nullcontext
 from concurrent.futures import FIRST_COMPLETED, Future, wait
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, Optional, Tuple, Union
@@ -39,6 +40,9 @@ from repro.datasets.base import ImageDataset
 from repro.defenses.model_level import MNTDDefense
 from repro.models.classifier import ImageClassifier
 from repro.models.registry import architecture_family
+from repro.obs.clock import now
+from repro.obs.metrics import QUERY_BUCKETS, MetricsRegistry, merge_snapshots
+from repro.obs.trace import TraceContext, get_tracer, new_id, rebased
 from repro.prompting.blackbox import QueryFunction
 from repro.runtime.executor import ExecutorSession, ParallelExecutor
 from repro.runtime.registry import DetectorRegistry, DetectorSpec, RegistryEntry
@@ -57,6 +61,7 @@ from repro.runtime.workers import (
     WorkerPool,
     _mntd_audit_task,
     _ref_mntd_audit_task,
+    _traced_task,
 )
 
 
@@ -104,6 +109,7 @@ class _MNTDAuditService(SessionLifecycleMixin):
         query_function: Optional[QueryFunction] = None,
         verdict_cache: Optional[VerdictCache] = None,
         cache_key: Optional[Dict[str, Any]] = None,
+        trace_ctx: Optional[TraceContext] = None,
     ) -> AuditJob:
         if query_function is not None:
             # MNTD queries the model object directly; there is no seam for a
@@ -115,18 +121,14 @@ class _MNTDAuditService(SessionLifecycleMixin):
                 "black-box query interface"
             )
         session = self._ensure_session()
+        task = self._task(key, model)
         if verdict_cache is not None and cache_key is not None:
             # wrap-only mode (the gateway owns lookup/dedup): the task runs
             # through the cache's store tier for cross-process single flight
-            future = session.submit(
-                _cached_audit_task,
-                verdict_cache,
-                cache_key,
-                key,
-                *self._task(key, model),
-            )
-        else:
-            future = session.submit(*self._task(key, model))
+            task = (_cached_audit_task, verdict_cache, cache_key, key, *task)
+        if trace_ctx is not None:
+            task = (_traced_task, trace_ctx, *task)
+        future = session.submit(*task)
         return AuditJob(key=key, future=future)
 
     def reap(self, job: AuditJob) -> None:
@@ -277,7 +279,17 @@ class AuditGateway:
         self._tenants: Dict[str, Tenant] = {}
         #: submitted-but-unharvested jobs: future -> (tenant_id, job)
         self._pending: Dict[Future, Tuple[str, AuditJob]] = {}
+        #: per-submission telemetry coordinates:
+        #: future -> ((trace_id, audit_span_id) | None, submit timestamp)
+        self._job_meta: Dict[Future, Tuple[Optional[Tuple[str, str]], float]] = {}
         self._lock = threading.Lock()
+        #: the gateway's own mergeable metrics (per-tenant latency and
+        #: query-spend histograms); folded with every component registry in
+        #: the ``stats()["telemetry"]`` sub-dashboard
+        self.metrics = MetricsRegistry()
+        self._telemetry = bool(runtime.telemetry)
+        if self._telemetry:
+            get_tracer().enable()
 
     # -- tenant lifecycle ------------------------------------------------------
     def register_tenant(
@@ -432,19 +444,37 @@ class AuditGateway:
                 existing = self._tenants.get(tenant_id)
             if existing is not None:
                 return existing
-            tenant = self.register_tenant(
-                tenant_id,
-                spec,
-                self.provisioner.reserved_clean,
-                self.provisioner.target_train,
-                self.provisioner.target_test,
-            )
+            with get_tracer().span("gateway.provision", tenant=tenant_id):
+                tenant = self.register_tenant(
+                    tenant_id,
+                    spec,
+                    self.provisioner.reserved_clean,
+                    self.provisioner.target_train,
+                    self.provisioner.target_test,
+                )
         tenant.provisioned = True
         return tenant
 
     # -- submission ------------------------------------------------------------
     def _default_metadata(self, model: ImageClassifier) -> Dict[str, Any]:
         return {"architecture": getattr(model, "architecture", None)}
+
+    def _begin_trace(self) -> Tuple[Optional[Tuple[str, str]], float]:
+        """A submission's telemetry coordinates: trace ids (tracing only) + t0.
+
+        The audit span's id is minted *now* so everything the submission
+        does — routing, provisioning, the pool task — parents under it, but
+        the span itself is recorded at harvest, when its end is known.  The
+        timestamp is taken either way: latency histograms are cheap counters
+        and stay on regardless of the tracer switch.
+        """
+        if get_tracer().enabled:
+            return (new_id(), new_id()), now()
+        return None, now()
+
+    def _trace_scope(self, ids: Optional[Tuple[str, str]]):
+        """Ambient-parent scope for a submission's gateway-side spans."""
+        return get_tracer().context(*ids) if ids is not None else nullcontext()
 
     def _submit_with_slot(
         self,
@@ -454,23 +484,40 @@ class AuditGateway:
         query_function: Optional[QueryFunction],
     ) -> AuditJob:
         """Submit one job; the caller has already acquired a budget slot."""
-        tenant = self._route_or_provision(
-            metadata if metadata is not None else self._default_metadata(model)
-        )
-        job = tenant.service.submit(key, model, query_function=query_function)
+        ids, started = self._begin_trace()
+        with self._trace_scope(ids):
+            with get_tracer().span("gateway.route"):
+                tenant = self._route_or_provision(
+                    metadata if metadata is not None else self._default_metadata(model)
+                )
+            job = tenant.service.submit(
+                key,
+                model,
+                query_function=query_function,
+                trace_ctx=TraceContext(*ids) if ids is not None else None,
+            )
         with self._lock:
             self._pending[job.future] = (tenant.tenant_id, job)
+            self._job_meta[job.future] = (ids, started)
         # released when the job finishes *computing* (not when it is
         # harvested), so the budget caps concurrent work, not retained results
         job.future.add_done_callback(lambda _future: self._slots.release())
         return job
 
     # -- cached submission -----------------------------------------------------
-    def _register_cached(self, tenant: Tenant, key: str, future: Future) -> AuditJob:
+    def _register_cached(
+        self,
+        tenant: Tenant,
+        key: str,
+        future: Future,
+        meta: Optional[Tuple[Optional[Tuple[str, str]], float]] = None,
+    ) -> AuditJob:
         """Book a slot-free job (cache hit / dedup follower) as pending."""
         job = AuditJob(key=key, future=future)
         with self._lock:
             self._pending[future] = (tenant.tenant_id, job)
+            if meta is not None:
+                self._job_meta[future] = meta
         return job
 
     @staticmethod
@@ -514,40 +561,52 @@ class AuditGateway:
         dedup followers short-circuit the ``max_in_flight`` semaphore).
         """
         cache = self.verdict_cache
-        tenant = self._route_or_provision(
-            metadata if metadata is not None else self._default_metadata(model)
-        )
-        cache_key = cache.key_for(model, tenant.entry.key_hash, tenant.spec.precision)
-        verdict = cache.lookup(cache_key, key)
-        if verdict is not None:
-            return self._register_cached(tenant, key, self._completed(verdict))
-        shared = cache.follow(cache_key)
-        if shared is not None:
-            return self._register_cached(tenant, key, self._chained(shared, key))
-        if not self._slots.acquire(blocking=blocking):
-            return None
-        claim = cache.begin(cache_key, key)
-        if claim[0] == "verdict":
-            self._slots.release()
-            return self._register_cached(tenant, key, self._completed(claim[1]))
-        if claim[0] == "follower":
-            self._slots.release()
-            return self._register_cached(tenant, key, self._chained(claim[1], key))
-        token = claim[1]
-        try:
-            job = tenant.service.submit(
-                key,
-                model,
-                query_function=query_function,
-                verdict_cache=cache,
-                cache_key=cache_key,
-            )
-        except BaseException as exc:
-            self._slots.release()
-            cache.fail(token, exc)
-            raise
+        ids, started = self._begin_trace()
+        meta = (ids, started)
+        with self._trace_scope(ids):
+            with get_tracer().span("gateway.route"):
+                tenant = self._route_or_provision(
+                    metadata if metadata is not None else self._default_metadata(model)
+                )
+            cache_key = cache.key_for(model, tenant.entry.key_hash, tenant.spec.precision)
+            with get_tracer().span("cache.lookup") as span:
+                verdict = cache.lookup(cache_key, key)
+                span.set(hit=verdict is not None)
+            if verdict is not None:
+                return self._register_cached(tenant, key, self._completed(verdict), meta)
+            shared = cache.follow(cache_key)
+            if shared is not None:
+                return self._register_cached(tenant, key, self._chained(shared, key), meta)
+            if not self._slots.acquire(blocking=blocking):
+                # declined: the entry is re-queued and re-submitted later with
+                # fresh coordinates; this attempt's route/lookup spans stay in
+                # the trace as roots without an audit span (the work really
+                # did run twice)
+                return None
+            claim = cache.begin(cache_key, key)
+            if claim[0] == "verdict":
+                self._slots.release()
+                return self._register_cached(tenant, key, self._completed(claim[1]), meta)
+            if claim[0] == "follower":
+                self._slots.release()
+                return self._register_cached(tenant, key, self._chained(claim[1], key), meta)
+            token = claim[1]
+            try:
+                job = tenant.service.submit(
+                    key,
+                    model,
+                    query_function=query_function,
+                    verdict_cache=cache,
+                    cache_key=cache_key,
+                    trace_ctx=TraceContext(*ids) if ids is not None else None,
+                )
+            except BaseException as exc:
+                self._slots.release()
+                cache.fail(token, exc)
+                raise
         with self._lock:
             self._pending[job.future] = (tenant.tenant_id, job)
+            self._job_meta[job.future] = meta
         job.future.add_done_callback(lambda _future: self._slots.release())
         job.future.add_done_callback(lambda future: self._finish_claim(token, future))
         return job
@@ -593,6 +652,7 @@ class AuditGateway:
     def _harvest(self, future: Future) -> Optional[GatewayVerdict]:
         with self._lock:
             item = self._pending.pop(future, None)
+            meta = self._job_meta.pop(future, None)
         if item is None:
             return None  # already harvested by a concurrent consumer
         tenant_id, job = item
@@ -623,6 +683,7 @@ class AuditGateway:
                 tenant.dedup_hits += 1
             else:
                 tenant.cache_hits += 1
+        self._record_telemetry(meta, tenant_id, verdict, provenance)
         return GatewayVerdict(
             name=verdict.name,
             backdoor_score=verdict.backdoor_score,
@@ -633,6 +694,62 @@ class AuditGateway:
             cache=provenance,
             tenant=tenant_id,
         )
+
+    def _record_telemetry(
+        self,
+        meta: Optional[Tuple[Optional[Tuple[str, str]], float]],
+        tenant_id: str,
+        verdict: AuditVerdict,
+        provenance: str,
+    ) -> None:
+        """Book one harvested verdict: histograms always, spans when tracing.
+
+        The audit span is recorded complete — its start was taken at submit,
+        its end is now — and the worker's shipped spans are rebased from
+        task-relative offsets onto this process's clock, anchored so the
+        latest one ends at harvest (the leading gap under the audit span is
+        the queue wait).  A warm verdict carries no spans: its inspection
+        happened in some earlier trace, which is exactly what the cache
+        provenance already says.
+        """
+        if meta is None:
+            return
+        ids, started = meta
+        end = now()
+        self.metrics.histogram("gateway.audit_seconds", tenant=tenant_id).observe(
+            end - started
+        )
+        self.metrics.histogram(
+            "gateway.queries_per_verdict", buckets=QUERY_BUCKETS, tenant=tenant_id
+        ).observe(verdict.query_count if provenance == "cold" else 0)
+        shipped = getattr(verdict, "spans", None)
+        if ids is not None:
+            tracer = get_tracer()
+            tracer.record(
+                "gateway.audit",
+                started,
+                end,
+                trace_id=ids[0],
+                span_id=ids[1],
+                tenant=tenant_id,
+                key=verdict.name,
+                cache=provenance,
+                queries=verdict.query_count if provenance == "cold" else 0,
+                calls=verdict.query_calls if provenance == "cold" else 0,
+            )
+            if provenance == "cold" and shipped:
+                for span in rebased(shipped, end):
+                    tracer.record(
+                        span.name,
+                        span.start,
+                        span.end,
+                        trace_id=span.trace_id,
+                        span_id=span.span_id,
+                        parent_id=span.parent_id,
+                        **span.attrs,
+                    )
+        if shipped:
+            verdict.spans = []  # consumed; retained verdicts stay span-free
 
     def as_completed(self) -> Iterator[GatewayVerdict]:
         """Merge every tenant's submitted jobs into one completion-ordered
@@ -812,8 +929,33 @@ class AuditGateway:
             ),
             "amortized_queries_per_verdict": amortized(fleet_queries, fleet_verdicts),
             "worker_pool": self.worker_pool.stats(),
+            "telemetry": self._telemetry_stats(),
             "in_flight": in_flight,
             "max_in_flight": self.max_in_flight,
+        }
+
+    def _telemetry_stats(self) -> Dict[str, Any]:
+        """The telemetry sub-dashboard: tracer state + the merged fleet metrics.
+
+        Folds the gateway's own histograms with every component registry.
+        The sharded store contributes only its *aggregate* tallies (the
+        top-level counters already sum the shards; folding per-shard
+        registries too would double-count).
+        """
+        return {
+            "enabled": self._telemetry,
+            "spans_recorded": get_tracer().recorded,
+            "metrics": merge_snapshots(
+                self.metrics.snapshot(),
+                self.registry.metrics.snapshot(),
+                self.registry.store.metrics.snapshot(),
+                self.worker_pool.metrics.snapshot(),
+                *(
+                    (self.verdict_cache.metrics.snapshot(),)
+                    if self.verdict_cache is not None
+                    else ()
+                ),
+            ),
         }
 
     # -- lifecycle -------------------------------------------------------------

@@ -12,10 +12,11 @@ attribute wall-clock time.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.obs.clock import now
+from repro.obs.trace import get_tracer
 from repro.runtime.store import MISS, Artifact, ArtifactStore
 
 
@@ -71,22 +72,23 @@ class StagedPipeline:
         """Execute every stage; returns the mapping stage name -> result."""
         results: Dict[str, Any] = {}
         self.reports = []
+        tracer = get_tracer()
         for stage in self.stages:
-            start = time.perf_counter()
-            cached = False
-            value = MISS
-            if stage.cacheable:
-                value = self.store.try_load(
-                    stage.kind, stage.key, lambda artifact: stage.load(artifact, results)
-                )
-                cached = value is not MISS
-            if not cached:
-                value = stage.build(results)
-                if stage.cacheable and self.store.enabled:
-                    with self.store.open_write(stage.kind, stage.key) as artifact:
-                        stage.save(artifact, value)
-            results[stage.name] = value
-            self.reports.append(
-                StageReport(stage.name, cached, time.perf_counter() - start)
-            )
+            with tracer.span(f"fit.{stage.name}") as span:
+                start = now()
+                cached = False
+                value = MISS
+                if stage.cacheable:
+                    value = self.store.try_load(
+                        stage.kind, stage.key, lambda artifact: stage.load(artifact, results)
+                    )
+                    cached = value is not MISS
+                if not cached:
+                    value = stage.build(results)
+                    if stage.cacheable and self.store.enabled:
+                        with self.store.open_write(stage.kind, stage.key) as artifact:
+                            stage.save(artifact, value)
+                results[stage.name] = value
+                span.set(cached=cached)
+                self.reports.append(StageReport(stage.name, cached, now() - start))
         return results

@@ -48,6 +48,8 @@ from repro.core.detector import BpromDetector
 from repro.datasets.base import ImageDataset
 from repro.defenses.model_level import MNTDDefense
 from repro.models.registry import architecture_family
+from repro.obs.metrics import MetricsRegistry, counter_property
+from repro.obs.trace import get_tracer
 from repro.runtime.locks import AdvisoryLock, LockTimeout
 from repro.runtime.pipeline import StageReport
 from repro.runtime.store import MISS, Artifact, ArtifactStore, dataset_fingerprint, key_hash
@@ -230,6 +232,18 @@ class DetectorRegistry:
     here or whole other processes — fit each detector at most once fleet-wide.
     """
 
+    #: counters live in a mergeable metrics registry (attribute API and
+    #: ``stats()`` shape unchanged): ``hits`` — served from the in-memory LRU
+    #: without touching the store; ``store_hits`` — loaded from a warm
+    #: artifact store (zero training); ``fits`` — fitted here (cold
+    #: everywhere); ``evictions`` — entries dropped to respect the byte
+    #: budget; ``gc_evictions`` — store artifacts evicted by :meth:`maybe_gc`
+    hits = counter_property("registry.hits")
+    store_hits = counter_property("registry.store_hits")
+    fits = counter_property("registry.fits")
+    evictions = counter_property("registry.evictions")
+    gc_evictions = counter_property("registry.gc_evictions")
+
     def __init__(
         self,
         runtime: Optional[RuntimeConfig] = None,
@@ -251,15 +265,11 @@ class DetectorRegistry:
         )
         self._entries: "OrderedDict[str, RegistryEntry]" = OrderedDict()
         self._lock = RLock()
-        #: served from the in-memory LRU without touching the store
+        self.metrics = MetricsRegistry()
         self.hits = 0
-        #: loaded from a warm artifact store (zero training)
         self.store_hits = 0
-        #: fitted here (cold everywhere)
         self.fits = 0
-        #: entries dropped to respect the byte budget
         self.evictions = 0
-        #: store artifacts evicted by :meth:`maybe_gc` (disk budget)
         self.gc_evictions = 0
 
     # -- LRU ------------------------------------------------------------------
@@ -367,6 +377,18 @@ class DetectorRegistry:
         file — of N concurrent cold-store callers exactly one trains; the
         rest block on the lock and load the winner's artifact.
         """
+        with get_tracer().span("registry.get_or_fit") as span:
+            entry = self._get_or_fit_impl(spec, reserved_clean, target_train, target_test)
+            span.set(key_hash=entry.key_hash, source=entry.source)
+            return entry
+
+    def _get_or_fit_impl(
+        self,
+        spec: DetectorSpec,
+        reserved_clean: ImageDataset,
+        target_train: Optional[ImageDataset] = None,
+        target_test: Optional[ImageDataset] = None,
+    ) -> RegistryEntry:
         key = registry_key(spec, reserved_clean, target_train, target_test)
         digest = key_hash(key)
         entry = self._memory_hit(digest)

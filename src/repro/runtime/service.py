@@ -12,7 +12,7 @@ seed.  For a streaming front-end over the same verdicts see
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -54,6 +54,11 @@ class AuditVerdict:
     #: and ``query_calls`` always describe the *original* inspection; a warm
     #: serving spent none of them
     cache: str = "cold"
+    #: task-relative telemetry spans a traced pool worker ships back with a
+    #: cold verdict; the gateway consumes (rebases and clears) them at
+    #: harvest.  Excluded from equality and repr — telemetry on/off must not
+    #: change what a verdict *is* — and never persisted by the verdict cache
+    spans: List = field(default_factory=list, repr=False, compare=False)
 
     @property
     def verdict(self) -> str:

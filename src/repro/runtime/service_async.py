@@ -41,7 +41,8 @@ from repro.models.classifier import ImageClassifier
 from repro.runtime.executor import ExecutorSession, ParallelExecutor
 from repro.runtime.service import AuditVerdict, resolve_executor
 from repro.runtime.verdict_cache import VerdictCache, detector_digest
-from repro.runtime.workers import DetectorRef, _audit_task, _ref_audit_task
+from repro.obs.trace import TraceContext
+from repro.runtime.workers import DetectorRef, _audit_task, _ref_audit_task, _traced_task
 
 
 def _cached_audit_task(cache: VerdictCache, cache_key, name: str, task, *args) -> AuditVerdict:
@@ -229,6 +230,7 @@ class AsyncAuditService(SessionLifecycleMixin):
         query_function: Optional[QueryFunction] = None,
         verdict_cache: Optional[VerdictCache] = None,
         cache_key: Optional[Dict] = None,
+        trace_ctx: Optional[TraceContext] = None,
     ) -> AuditJob:
         """Enqueue one audit; blocks while ``max_in_flight`` jobs are running.
 
@@ -248,18 +250,17 @@ class AsyncAuditService(SessionLifecycleMixin):
         if verdict_cache is None and self.verdict_cache is not None and self.verdict_cache.enabled:
             return self._submit_cached(key, model, query_function)
         session = self._ensure_session()
+        task = self._task(key, model, query_function)
+        if verdict_cache is not None and cache_key is not None:
+            task = (_cached_audit_task, verdict_cache, cache_key, key, *task)
+        if trace_ctx is not None:
+            # outermost wrapper: the worker-side sink must cover the cache
+            # read-through too, and every layer stays a module-level callable
+            # (process backends pickle tasks by qualified name)
+            task = (_traced_task, trace_ctx, *task)
         self._slots.acquire()  # released by _mark_done when the job finishes
         try:
-            if verdict_cache is not None and cache_key is not None:
-                future = session.submit(
-                    _cached_audit_task,
-                    verdict_cache,
-                    cache_key,
-                    key,
-                    *self._task(key, model, query_function),
-                )
-            else:
-                future = session.submit(*self._task(key, model, query_function))
+            future = session.submit(*task)
         except BaseException:
             self._slots.release()
             raise

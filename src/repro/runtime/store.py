@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.config import RuntimeConfig
 from repro.datasets.base import ImageDataset
+from repro.obs.metrics import MetricsRegistry, counter_property
 from repro.runtime.locks import DEFAULT_STALE_SECONDS, DEFAULT_WAIT_SECONDS, AdvisoryLock
 
 PathLike = Union[str, Path]
@@ -137,9 +138,16 @@ class ArtifactStore:
     always-empty cache: ``contains`` is ``False`` and ``fetch`` always builds.
     """
 
+    #: hit/miss tallies live in the mergeable metrics registry so the
+    #: gateway's telemetry dashboard can fold them in; the attribute API and
+    #: ``stats()`` shape are unchanged
+    hits = counter_property("store.hits")
+    misses = counter_property("store.misses")
+
     def __init__(self, root: Optional[PathLike], enabled: bool = True) -> None:
         self.root = Path(root) if root is not None else None
         self.enabled = bool(enabled) and self.root is not None
+        self.metrics = MetricsRegistry()
         self.hits = 0
         self.misses = 0
 

@@ -58,6 +58,7 @@ from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.config import RuntimeConfig
+from repro.obs.metrics import MetricsRegistry, counter_property, gauge_property
 from repro.runtime.locks import AdvisoryLock
 from repro.runtime.store import (
     ArtifactStore,
@@ -184,6 +185,18 @@ class VerdictCache:
         default is wall-clock, which is what artifact ages are measured in.
     """
 
+    #: all tallies live in a mergeable metrics registry (the attribute API
+    #: and the ``stats()`` shape are unchanged); ``inspections`` counts cold
+    #: inspections actually performed through this cache instance
+    memory_bytes = gauge_property("verdict_cache.memory_bytes")
+    memory_hits = counter_property("verdict_cache.memory_hits")
+    store_hits = counter_property("verdict_cache.store_hits")
+    dedup_hits = counter_property("verdict_cache.dedup_hits")
+    misses = counter_property("verdict_cache.misses")
+    evictions = counter_property("verdict_cache.evictions")
+    expirations = counter_property("verdict_cache.expirations")
+    inspections = counter_property("verdict_cache.inspections")
+
     def __init__(
         self,
         store: Optional[ArtifactStore] = None,
@@ -216,6 +229,7 @@ class VerdictCache:
         self._entries: "OrderedDict[str, _MemoryEntry]" = OrderedDict()
         #: in-flight leaders: key digest -> shared future of the inspection
         self._inflight: Dict[str, Any] = {}
+        self.metrics = MetricsRegistry()
         self.memory_bytes = 0
         self.memory_hits = 0
         self.store_hits = 0
@@ -223,7 +237,6 @@ class VerdictCache:
         self.misses = 0
         self.evictions = 0
         self.expirations = 0
-        #: cold inspections actually performed through this cache instance
         self.inspections = 0
 
     # -- pickling: a worker-process clone shares only the store tier ---------
@@ -232,7 +245,9 @@ class VerdictCache:
         state["_lock"] = None
         state["_entries"] = OrderedDict()
         state["_inflight"] = {}
-        state["memory_bytes"] = 0
+        # the clone tallies from zero into its own registry; the owner's
+        # counts stay local and the readers merge snapshots
+        state["metrics"] = MetricsRegistry()
         return state
 
     def __setstate__(self, state: Dict[str, Any]) -> None:

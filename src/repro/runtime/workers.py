@@ -43,6 +43,9 @@ from repro.config import RuntimeConfig
 from repro.datasets.base import ImageDataset
 from repro.defenses.model_level import MNTDDefense
 from repro.models.classifier import ImageClassifier
+from repro.obs.clock import now
+from repro.obs.metrics import MetricsRegistry, counter_property
+from repro.obs.trace import TraceContext, collect, get_tracer, relative_to
 from repro.prompting.blackbox import QueryFunction
 from repro.runtime.executor import ExecutorSession
 from repro.runtime.registry import DETECTOR_KIND, DetectorSpec, load_detector_artifact
@@ -156,6 +159,26 @@ def _ref_mntd_audit_task(
     return _mntd_audit_task(resolve_detector(ref), clean_data, key, model)
 
 
+def _traced_task(ctx: TraceContext, fn: Callable[..., Any], *args: Any) -> Any:
+    """Run a pool task under a per-task span sink parented on ``ctx``.
+
+    Works on any backend: the sink is a ContextVar, so thread-backend tasks
+    never interleave spans, and on the process backend the worker's globally
+    *disabled* tracer still collects into the sink.  Spans ship back on the
+    verdict as offsets from task entry (monotonic clocks do not compare
+    across processes); the gateway rebases them onto its own clock at
+    harvest.  Only a cold verdict carries spans — a memoised verdict's work
+    happened in some earlier trace.
+    """
+    t0 = now()
+    with collect(ctx) as spans:
+        with get_tracer().span("pool.execute"):
+            verdict = fn(*args)
+    if getattr(verdict, "cache", "cold") == "cold" and hasattr(verdict, "spans"):
+        verdict.spans = relative_to(spans, t0)
+    return verdict
+
+
 # ---------------------------------------------------------------------------
 # the shared pool
 # ---------------------------------------------------------------------------
@@ -186,6 +209,10 @@ class WorkerPool:
     pool is ever created.
     """
 
+    #: tasks submitted through the shared session (for :meth:`stats`);
+    #: backed by the mergeable metrics registry
+    tasks = counter_property("pool.tasks")
+
     def __init__(self, workers: int = 1, backend: str = "thread") -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -197,7 +224,7 @@ class WorkerPool:
         self._session: Optional[ExecutorSession] = None
         self._lock = threading.Lock()
         self._closed = False
-        #: tasks submitted through the shared session (for :meth:`stats`)
+        self.metrics = MetricsRegistry()
         self.tasks = 0
 
     @classmethod

@@ -1,9 +1,15 @@
-"""A tiny wall-clock timer used by the experiment harness and examples."""
+"""Named-duration accumulator over the shared :mod:`repro.obs` clock.
+
+The bench/example-facing face of one timing primitive: the
+:class:`~repro.obs.clock.Stopwatch` measures the interval, the Timer only
+accumulates it under a label (benches keep their existing output fields).
+"""
 
 from __future__ import annotations
 
-import time
 from typing import Dict, Optional
+
+from repro.obs.clock import Stopwatch
 
 
 class Timer:
@@ -20,7 +26,7 @@ class Timer:
 
     def __init__(self) -> None:
         self._totals: Dict[str, float] = {}
-        self._start: Optional[float] = None
+        self._watch = Stopwatch()
         self._label: Optional[str] = None
 
     def measure(self, label: str) -> "Timer":
@@ -28,15 +34,13 @@ class Timer:
         return self
 
     def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
+        self._watch.start()
         return self
 
     def __exit__(self, *exc) -> None:
-        if self._start is None or self._label is None:
+        if not self._watch.running or self._label is None:
             return
-        elapsed = time.perf_counter() - self._start
-        self._totals[self._label] = self._totals.get(self._label, 0.0) + elapsed
-        self._start = None
+        self._totals[self._label] = self._totals.get(self._label, 0.0) + self._watch.stop()
         self._label = None
 
     def total(self, label: str) -> float:

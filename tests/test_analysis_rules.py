@@ -738,6 +738,71 @@ class TestL302BroadExceptSwallow:
 # -- registry sanity ----------------------------------------------------------
 
 
+# -- O-series: telemetry hygiene ----------------------------------------------
+
+
+class TestO101SpanLeaked:
+    def test_fires_on_discarded_handle(self):
+        assert_fires("O101", """
+            def audit(tracer):
+                tracer.start_span("gateway.audit")
+                work()
+        """)
+
+    def test_fires_on_named_handle_without_finally(self):
+        assert_fires("O101", """
+            def audit(tracer):
+                handle = tracer.start_span("gateway.audit")
+                work()
+                handle.end()
+        """)
+
+    def test_fires_on_measure_outside_with(self):
+        assert_fires("O101", """
+            def bench(timer):
+                timer.measure("fit")
+                work()
+        """)
+
+    def test_quiet_with_try_finally_end(self):
+        assert_quiet("O101", """
+            def audit(tracer):
+                handle = tracer.start_span("gateway.audit")
+                try:
+                    work()
+                finally:
+                    handle.end()
+        """)
+
+    def test_quiet_with_context_manager(self):
+        assert_quiet("O101", """
+            def bench(timer, tracer):
+                with timer.measure("fit"):
+                    work()
+                with tracer.start_span("x").set(stage="fit"):
+                    work()
+        """)
+
+    def test_quiet_with_named_with(self):
+        assert_quiet("O101", """
+            def audit(tracer):
+                handle = tracer.start_span("gateway.audit")
+                with handle:
+                    work()
+        """)
+
+    def test_quiet_inside_obs_package(self):
+        assert_quiet(
+            "O101",
+            """
+            def span(self, name):
+                handle = self.start_span(name)
+                return handle
+            """,
+            relpath="src/repro/obs/trace.py",
+        )
+
+
 def test_every_registered_rule_has_fixture_coverage():
     """Every rule id in the registry is exercised by a Test class above."""
     covered = set()
@@ -756,6 +821,8 @@ def test_rule_metadata_complete():
         assert rule.summary, f"{rule_id} has no summary"
 
 
-@pytest.mark.parametrize("family,expected", [("D", 6), ("P", 4), ("K", 5), ("L", 5)])
+@pytest.mark.parametrize(
+    "family,expected", [("D", 6), ("P", 4), ("K", 5), ("L", 5), ("O", 1)]
+)
 def test_family_sizes(family, expected):
     assert sum(1 for rule_id in RULES if rule_id[0] == family) == expected

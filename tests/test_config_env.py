@@ -33,6 +33,8 @@ ALL_ENV_KNOBS = (
     "REPRO_VERDICT_CACHE",
     "REPRO_VERDICT_CACHE_BYTES",
     "REPRO_VERDICT_CACHE_TTL",
+    "REPRO_TELEMETRY",
+    "REPRO_TELEMETRY_DIR",
 )
 
 
@@ -66,6 +68,8 @@ def test_every_knob_round_trips(monkeypatch, tmp_path):
     monkeypatch.setenv("REPRO_VERDICT_CACHE", "1")
     monkeypatch.setenv("REPRO_VERDICT_CACHE_BYTES", "65536")
     monkeypatch.setenv("REPRO_VERDICT_CACHE_TTL", "3600")
+    monkeypatch.setenv("REPRO_TELEMETRY", "1")
+    monkeypatch.setenv("REPRO_TELEMETRY_DIR", str(tmp_path / "telemetry"))
     runtime = RuntimeConfig.from_env()
     assert runtime == RuntimeConfig(
         workers=4,
@@ -86,6 +90,8 @@ def test_every_knob_round_trips(monkeypatch, tmp_path):
         verdict_cache=True,
         verdict_cache_bytes=65536,
         verdict_cache_ttl=3600.0,
+        telemetry=True,
+        telemetry_dir=str(tmp_path / "telemetry"),
     )
 
 
@@ -97,6 +103,7 @@ def test_empty_values_fall_back_to_defaults(monkeypatch):
             "REPRO_SHADOW_TRAINING",
             "REPRO_CACHE",
             "REPRO_VERDICT_CACHE",
+            "REPRO_TELEMETRY",
         ):
             continue  # string knobs: empty is handled below / means unset
         monkeypatch.setenv(name, "")
@@ -116,6 +123,8 @@ def test_empty_values_fall_back_to_defaults(monkeypatch):
     assert runtime.verdict_cache is False
     assert runtime.verdict_cache_bytes is None
     assert runtime.verdict_cache_ttl is None
+    assert runtime.telemetry is False
+    assert runtime.telemetry_dir is None
 
 
 def test_cache_toggle(monkeypatch):
@@ -130,6 +139,13 @@ def test_verdict_cache_toggle(monkeypatch):
     assert RuntimeConfig.from_env().verdict_cache is False
     monkeypatch.setenv("REPRO_VERDICT_CACHE", "1")
     assert RuntimeConfig.from_env().verdict_cache is True
+
+
+def test_telemetry_toggle(monkeypatch):
+    monkeypatch.setenv("REPRO_TELEMETRY", "0")
+    assert RuntimeConfig.from_env().telemetry is False
+    monkeypatch.setenv("REPRO_TELEMETRY", "1")
+    assert RuntimeConfig.from_env().telemetry is True
 
 
 def test_single_shard_dir(monkeypatch, tmp_path):
